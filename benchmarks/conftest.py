@@ -1,0 +1,24 @@
+"""Shared fixtures and helpers for the benchmark suite.
+
+Each benchmark file regenerates one row of the experiment index in
+DESIGN.md / EXPERIMENTS.md.  Sizes are chosen so the whole suite runs in a
+couple of minutes; the generators are deterministic, so numbers are
+comparable across runs.
+"""
+
+import pytest
+
+from repro.engine import Evaluator
+from repro.engine.evaluation import EvalOptions
+from repro.engine.setops import with_set_builtins
+
+
+def evaluate(program, db=None, **opts):
+    options = EvalOptions(**opts) if opts else EvalOptions()
+    return Evaluator(program, db, builtins=with_set_builtins(),
+                     options=options).run()
+
+
+@pytest.fixture(scope="session")
+def set_builtin_registry():
+    return with_set_builtins()

@@ -1,0 +1,52 @@
+"""B4 — nested relational algebra throughput (nest/unnest/join)."""
+
+import pytest
+
+from repro.nested import (
+    NestedRelation,
+    Schema,
+    natural_join,
+    nest,
+    project,
+    unnest,
+)
+from repro.workloads import nested_relation_rows
+
+
+def relation(rows, width, seed=0):
+    r = NestedRelation(Schema.of("k", "vals*"))
+    for k, vals in nested_relation_rows(rows, width, seed=seed):
+        r.insert(k, vals)
+    return r
+
+
+@pytest.mark.parametrize("rows,width", [(200, 8), (1000, 8), (1000, 32)])
+def test_unnest_throughput(benchmark, rows, width):
+    r = relation(rows, width)
+    out = benchmark(lambda: unnest(r, "vals"))
+    assert len(out) > rows / 2
+
+
+@pytest.mark.parametrize("rows,width", [(200, 8), (1000, 8), (1000, 32)])
+def test_nest_throughput(benchmark, rows, width):
+    flat = unnest(relation(rows, width), "vals")
+    out = benchmark(lambda: nest(flat, "vals"))
+    assert len(out) <= len(flat)
+
+
+@pytest.mark.parametrize("rows", [100, 400])
+def test_join_on_set_attribute(benchmark, rows):
+    """Set-valued join keys: equality is frozenset equality."""
+    r1 = relation(rows, 6, seed=1)
+    r2 = NestedRelation(Schema.of("vals*", "tag"))
+    for i, (_, vals) in enumerate(nested_relation_rows(rows, 6, seed=1)):
+        r2.insert(vals, f"t{i % 7}")
+    out = benchmark(lambda: natural_join(r1, r2))
+    assert len(out) >= rows  # every row finds its own set at least
+
+
+@pytest.mark.parametrize("rows", [1000, 4000])
+def test_project_throughput(benchmark, rows):
+    r = relation(rows, 4)
+    out = benchmark(lambda: project(r, ["k"]))
+    assert len(out) == len(r)

@@ -1,0 +1,42 @@
+"""B5 — parser and pretty-printer throughput on generated programs."""
+
+import pytest
+
+from repro.lang import parse_program
+from repro.lang.pretty import pretty_program
+
+
+def generated_source(n_clauses: int) -> str:
+    lines = []
+    for i in range(n_clauses):
+        kind = i % 4
+        if kind == 0:
+            lines.append(f"e(v{i}, v{i + 1}).")
+        elif kind == 1:
+            lines.append(f"s{i}({{a{i}, b{i}, c{i}}}).")
+        elif kind == 2:
+            lines.append(f"p{i}(X, Y) :- e(X, Y), q{i}(Y).")
+        else:
+            lines.append(
+                f"d{i}(S, T) :- forall A in S (forall B in T (A != B))."
+            )
+    return "\n".join(lines)
+
+
+@pytest.mark.parametrize("n", [50, 200, 800])
+def test_parse_throughput(benchmark, n):
+    source = generated_source(n)
+    program = benchmark(lambda: parse_program(source))
+    assert len(program.clauses) >= n
+
+
+@pytest.mark.parametrize("n", [50, 200])
+def test_round_trip_throughput(benchmark, n):
+    source = generated_source(n)
+    program = parse_program(source)
+
+    def round_trip():
+        return parse_program(pretty_program(program))
+
+    again = benchmark(round_trip)
+    assert len(again.clauses) == len(program.clauses)

@@ -1,0 +1,31 @@
+"""E4 — Example 6: parts-explosion cost roll-up, fanout × depth sweep."""
+
+import pytest
+
+from repro import parse_program
+from repro.workloads import parts_database, parts_world
+
+from .conftest import evaluate
+
+RULES = parse_program("""
+item_cost(P, C) :- cost(P, C).
+item_cost(P, C) :- obj_cost(P, C).
+need(S) :- parts(P, S).
+need(Y) :- need(Z), choose_min(X, Y, Z).
+sum_costs({}, 0).
+sum_costs(Z, K) :- need(Z), choose_min(P, Y, Z),
+                   item_cost(P, C), sum_costs(Y, M), M + C = K.
+obj_cost(P, C) :- parts(P, S), sum_costs(S, C).
+""")
+
+
+@pytest.mark.parametrize("depth,fanout", [(2, 2), (3, 2), (3, 3), (4, 2)])
+def test_parts_explosion(benchmark, depth, fanout):
+    world = parts_world(depth=depth, fanout=fanout, seed=11)
+    db = parts_database(world)
+
+    result = benchmark(lambda: evaluate(RULES, db))
+    derived = dict(result.relation("obj_cost"))
+    for obj, expected in world.expected.items():
+        if obj in world.parts:
+            assert derived[obj] == expected

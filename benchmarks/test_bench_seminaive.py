@@ -1,0 +1,63 @@
+"""B2 — naive vs semi-naive fixpoint evaluation.
+
+Transitive closure on chains and grids: semi-naive differentiation should
+win by an increasing factor as the number of iterations grows (chains are
+the worst case for naive evaluation).  Also includes a set-heavy workload
+(quantified rules), where the engine falls back to change-detection
+re-evaluation — the honest cost of quantifiers under semi-naive.
+"""
+
+import pytest
+
+from repro import parse_program
+from repro.engine import Database
+from repro.workloads import chain_graph, grid_graph, set_database
+
+from .conftest import evaluate
+
+TC = parse_program("""
+t(X, Y) :- e(X, Y).
+t(X, Z) :- e(X, Y), t(Y, Z).
+""")
+
+
+def graph_db(edges):
+    db = Database()
+    for u, v in edges:
+        db.add("e", u, v)
+    return db
+
+
+@pytest.mark.parametrize("n", [16, 32, 64])
+@pytest.mark.parametrize("mode", ["seminaive", "naive"])
+def test_chain_closure(benchmark, n, mode):
+    db = graph_db(chain_graph(n))
+    result = benchmark(
+        lambda: evaluate(TC, db, semi_naive=(mode == "seminaive"))
+    )
+    assert len(result.relation("t")) == n * (n + 1) // 2
+
+
+@pytest.mark.parametrize("side", [4, 6])
+@pytest.mark.parametrize("mode", ["seminaive", "naive"])
+def test_grid_closure(benchmark, side, mode):
+    db = graph_db(grid_graph(side, side))
+    result = benchmark(
+        lambda: evaluate(TC, db, semi_naive=(mode == "seminaive"))
+    )
+    assert result.relation("t")
+
+
+SETS = parse_program("""
+disj(X, Y) :- s(X), s(Y), forall A in X (forall B in Y (A != B)).
+chainable(X, Z) :- disj(X, Y), disj(Y, Z).
+""")
+
+
+@pytest.mark.parametrize("mode", ["seminaive", "naive"])
+def test_quantified_workload(benchmark, mode):
+    db = set_database("s", 14, universe=18, max_size=4, seed=9)
+    result = benchmark(
+        lambda: evaluate(SETS, db, semi_naive=(mode == "seminaive"))
+    )
+    assert result.relation("chainable")

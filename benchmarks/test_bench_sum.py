@@ -1,0 +1,53 @@
+"""E3 — Example 5: summing a set of numbers.
+
+The paper's recursion decomposes a set into disjoint unions; the
+deterministic ``choose_min`` strategy gives a linear derivation chain.
+Swept over |X|; also benchmarked top-down (goal-directed, first answer).
+"""
+
+import pytest
+
+from repro import parse_program
+from repro.core import atom, const, setvalue, var_a
+from repro.engine import Database, TopDownProver
+from repro.engine.setops import with_set_builtins
+from repro.workloads import number_set
+
+from .conftest import evaluate
+
+RULES = """
+need(Z) :- target(Z).
+need(Y) :- need(Z), choose_min(X, Y, Z).
+sum({}, 0).
+sum(Z, K) :- need(Z), choose_min(X, Y, Z), sum(Y, M), M + X = K.
+total(K) :- target(Z), sum(Z, K).
+"""
+
+
+@pytest.mark.parametrize("size", [4, 8, 16, 32])
+def test_sum_bottom_up(benchmark, size):
+    numbers = number_set(size, seed=size)
+    db = Database()
+    db.add("target", numbers)
+    program = parse_program(RULES)
+    result = benchmark(lambda: evaluate(program, db))
+    assert result.relation("total") == {(sum(numbers),)}
+
+
+@pytest.mark.parametrize("size", [4, 8, 16])
+def test_sum_top_down(benchmark, size):
+    numbers = number_set(size, seed=size)
+    program = parse_program("""
+        sum({}, 0).
+        sum(Z, K) :- choose_min(X, Y, Z), sum(Y, M), M + X = K.
+    """)
+    prover = TopDownProver(program, builtins=with_set_builtins(),
+                           max_depth=10 * size + 50)
+    target = setvalue([const(n) for n in numbers])
+    k = var_a("K")
+
+    def ask():
+        return prover.ask(atom("sum", target, k), limit=1)
+
+    answers = benchmark(ask)
+    assert answers[0].apply(k) == const(sum(numbers))

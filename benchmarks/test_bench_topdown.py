@@ -1,0 +1,56 @@
+"""B3 — top-down (goal-directed) vs bottom-up on ground queries.
+
+On a parts hierarchy, bottom-up computes everything; top-down proves one
+goal.  The crossover the paper's Section 3.2 hints at: goal-directed wins
+when you need one answer, loses when you need the whole relation."""
+
+import pytest
+
+from repro import parse_program
+from repro.core import atom, const, var_a
+from repro.engine import Database, TopDownProver
+from repro.engine.setops import with_set_builtins
+from repro.workloads import chain_graph
+
+from .conftest import evaluate
+
+TC_SRC = """
+t(X, Y) :- e(X, Y).
+t(X, Z) :- e(X, Y), t(Y, Z).
+"""
+
+
+def chain_db(n):
+    db = Database()
+    for u, v in chain_graph(n):
+        db.add("e", u, v)
+    return db
+
+
+@pytest.mark.parametrize("n", [16, 32])
+def test_bottom_up_full_closure(benchmark, n):
+    db = chain_db(n)
+    program = parse_program(TC_SRC)
+    result = benchmark(lambda: evaluate(program, db))
+    assert len(result.relation("t")) == n * (n + 1) // 2
+
+
+@pytest.mark.parametrize("n", [16, 32])
+def test_top_down_single_goal(benchmark, n):
+    db = chain_db(n)
+    program = parse_program(TC_SRC)
+    prover = TopDownProver(program, database=db, max_depth=4 * n + 20)
+    goal = atom("t", const("v0"), const(f"v{n}"))
+
+    assert benchmark(lambda: prover.holds(goal))
+
+
+@pytest.mark.parametrize("n", [16, 32])
+def test_top_down_all_answers(benchmark, n):
+    db = chain_db(n)
+    program = parse_program(TC_SRC)
+    prover = TopDownProver(program, database=db, max_depth=4 * n + 20)
+    goal = atom("t", const("v0"), var_a("W"))
+
+    answers = benchmark(lambda: prover.ask(goal))
+    assert len(answers) == n

@@ -1,0 +1,64 @@
+"""E9 — Theorem 6 compilation: program blow-up and compile time.
+
+Measures the faithful (proof-literal) construction against the simplified
+one on generated positive formulas of increasing depth, plus the evaluation
+cost of the two outputs on the same database (they are semantically
+equivalent — the tests prove it; here we measure the constant factors)."""
+
+import pytest
+
+from repro.core import Rule, atom, var_a, var_s
+from repro.core.atoms import member
+from repro.core.formulas import AtomF, ExistsIn, ForallIn, conj, disj
+from repro.transform import compile_program
+from repro.workloads import set_database
+
+from .conftest import evaluate
+
+x, y, z = var_a("x"), var_a("y"), var_a("z")
+X, Y, Z = var_s("X"), var_s("Y"), var_s("Z")
+
+
+def formula_of_depth(depth):
+    """A positive formula with alternating ∀/∨ structure of given depth."""
+    body = disj(AtomF(member(x, X)), AtomF(member(x, Y)))
+    for level in range(depth):
+        var = var_a(f"q{level}")
+        body = ForallIn(
+            var, X if level % 2 == 0 else Y,
+            disj(AtomF(member(var, Y)), conj(AtomF(member(var, X)),
+                                             AtomF(atom("s", Z)))),
+        )
+    return conj(
+        ForallIn(x, X, AtomF(member(x, Z))),
+        body,
+        ExistsIn(y, Z, AtomF(member(y, X))),
+    )
+
+
+@pytest.mark.parametrize("depth", [1, 2, 3])
+@pytest.mark.parametrize("faithful", [False, True])
+def test_compile_time_and_size(benchmark, depth, faithful):
+    rule = Rule(atom("h", X, Y, Z), formula_of_depth(depth))
+
+    program = benchmark(lambda: compile_program([rule], faithful=faithful))
+    assert len(program.clauses) >= 1
+    # Record blow-up in the benchmark's extra info.
+    benchmark.extra_info["clauses"] = len(program.clauses)
+
+
+@pytest.mark.parametrize("faithful", [False, True])
+def test_evaluation_of_compiled_union(benchmark, faithful):
+    """Evaluate the two compilations of the union rule on the same sets."""
+    body = conj(
+        ForallIn(x, X, AtomF(member(x, Z))),
+        ForallIn(y, Y, AtomF(member(y, Z))),
+        ForallIn(z, Z, disj(AtomF(member(z, X)), AtomF(member(z, Y)))),
+    )
+    rule = Rule(atom("un", X, Y, Z), body)
+    program = compile_program([rule], faithful=faithful)
+    db = set_database("s", 8, universe=10, max_size=3, seed=4)
+
+    result = benchmark(lambda: evaluate(program, db))
+    for a_, b_, c_ in result.relation("un"):
+        assert a_ | b_ == c_

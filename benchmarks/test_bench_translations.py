@@ -1,0 +1,61 @@
+"""E14 — Theorem 10 in practice: the same query as ELPS, Horn+union and
+Horn+scons, plus translation costs.
+
+The quantifier-elimination translations replace each restricted quantifier
+by a recursion over set decompositions; this benchmark measures what that
+recursion costs at runtime relative to native quantifier evaluation."""
+
+import pytest
+
+from repro.core import Program, atom, clause, fact, member, setvalue, var_a, var_s
+from repro.engine import Database
+from repro.transform import to_horn_scons, to_horn_union
+from repro.workloads import random_sets
+
+from .conftest import evaluate
+
+x = var_a("x")
+X, Y = var_s("X"), var_s("Y")
+
+
+def subs_program():
+    return Program.of(
+        clause(atom("subs", X, Y), [(x, X)],
+               [atom("s", X), atom("s", Y), member(x, Y)]),
+    )
+
+
+def sets_db(n):
+    db = Database()
+    for s in random_sets(n, universe=10, max_size=4, seed=6):
+        db.add("s", s)
+    return db
+
+
+@pytest.mark.parametrize("n_sets", [6, 12])
+def test_native_elps(benchmark, n_sets):
+    db = sets_db(n_sets)
+    result = benchmark(lambda: evaluate(subs_program(), db))
+    assert result.relation("subs")
+
+
+@pytest.mark.parametrize("n_sets", [6, 12])
+def test_horn_union(benchmark, n_sets):
+    db = sets_db(n_sets)
+    program = to_horn_union(subs_program())
+    result = benchmark(lambda: evaluate(program, db))
+    assert result.relation("subs")
+
+
+@pytest.mark.parametrize("n_sets", [6, 12])
+def test_horn_scons(benchmark, n_sets):
+    db = sets_db(n_sets)
+    program = to_horn_scons(subs_program())
+    result = benchmark(lambda: evaluate(program, db))
+    assert result.relation("subs")
+
+
+def test_translation_cost(benchmark):
+    program = subs_program()
+    out = benchmark(lambda: (to_horn_union(program), to_horn_scons(program)))
+    assert all(len(p.clauses) > len(program.clauses) for p in out)

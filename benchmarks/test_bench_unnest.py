@@ -1,0 +1,45 @@
+"""E2 — Example 4: unnest as an LPS rule vs the algebra operator.
+
+Sweeps rows × set-width.  The algebra operator is a tight Python loop; the
+LPS rule pays the generic-engine overhead — the measured ratio is the cost
+of declarativity on this workload.
+"""
+
+import pytest
+
+from repro.nested import (
+    ATOMIC,
+    NestedRelation,
+    Schema,
+    relation_to_database,
+    unnest,
+    unnest_program,
+)
+from repro.workloads import nested_relation_rows
+
+from .conftest import evaluate
+
+SCHEMA = Schema.of("k", "vals*")
+
+
+def make_relation(n_rows, width):
+    r = NestedRelation(SCHEMA)
+    for k, vals in nested_relation_rows(n_rows, width, seed=5):
+        r.insert(k, vals)
+    return r
+
+
+@pytest.mark.parametrize("rows,width", [(50, 4), (100, 8), (200, 16)])
+def test_unnest_algebra(benchmark, rows, width):
+    r = make_relation(rows, width)
+    out = benchmark(lambda: unnest(r, "vals"))
+    assert len(out) > 0
+
+
+@pytest.mark.parametrize("rows,width", [(50, 4), (100, 8), (200, 16)])
+def test_unnest_lps_rule(benchmark, rows, width):
+    r = make_relation(rows, width)
+    db = relation_to_database(r, "r")
+    program = unnest_program(SCHEMA, "vals", "r", "s")
+    result = benchmark(lambda: evaluate(program, db))
+    assert len(result.relation("s")) == len(unnest(r, "vals"))

@@ -1,0 +1,79 @@
+"""LDL grouping and the Section 6 translations (Theorems 10 and 11).
+
+Shows the same query written three ways and verified equivalent:
+
+1. an LDL grouping clause ``bom(P, <C>) :- component(P, C)`` run natively;
+2. its translation to ELPS with stratified negation (Theorem 11);
+3. a Horn + union program and its pure-ELPS translation (Theorem 10).
+
+Run:  python examples/ldl_grouping.py
+"""
+
+from repro import parse_program
+from repro.core import Program, atom, fact, horn, setvalue, var_s
+from repro.core import const
+from repro.engine import Evaluator
+from repro.engine.builtins import default_builtins
+from repro.engine.setops import with_set_builtins
+from repro.lang.pretty import pretty_program
+from repro.transform import from_horn_union, grouping_to_elps
+
+
+def run(program, pure=False):
+    builtins = default_builtins() if pure else with_set_builtins()
+    return Evaluator(program, builtins=builtins).run()
+
+
+def main() -> None:
+    print("== 1. native LDL grouping (Definition 14) ==")
+    ldl = parse_program("""
+        component(car, wheel). component(car, engine).
+        component(car, brake). component(bike, wheel).
+        component(bike, brake).
+        bom(P, <C>) :- component(P, C).
+    """)
+    native = run(ldl)
+    for p, comps in sorted(native.relation("bom")):
+        print(f"  bom({p}, {sorted(comps)})")
+
+    print("\n== 2. Theorem 11: grouping -> ELPS with stratified negation ==")
+    translated = grouping_to_elps(ldl)
+    print(pretty_program(translated))
+    # The translation needs candidate sets in the active domain: seed all
+    # subsets of the component universe.
+    import itertools
+
+    comps = ["wheel", "engine", "brake"]
+    seeds = []
+    for k in range(len(comps) + 1):
+        for combo in itertools.combinations(comps, k):
+            seeds.append(fact(atom("cand", setvalue(map(const, combo)))))
+    m2 = run(translated + Program.of(*seeds))
+    assert m2.relation("bom") == native.relation("bom")
+    print("-> same bom relation as native grouping:", len(m2.relation('bom')),
+          "rows")
+
+    print("\n== 3. Theorem 10: Horn + union -> pure ELPS ==")
+    X, Y, Z = var_s("X"), var_s("Y"), var_s("Z")
+    horn_union = Program.of(
+        fact(atom("s", setvalue([const("wheel")]))),
+        fact(atom("s", setvalue([const("engine")]))),
+        horn(atom("u", X, Y, Z), atom("s", X), atom("s", Y),
+             atom("union", X, Y, Z)),
+    )
+    m3 = run(horn_union)                       # union as a builtin
+    elps = from_horn_union(horn_union)         # union axiomatised away
+    print(pretty_program(elps))
+    union_sets = {row[2] for row in m3.relation("u")}
+    seeds = Program.of(*(
+        fact(atom("domset", setvalue(map(const, s))))
+        for s in sorted(map(sorted, union_sets))
+    ))
+    m4 = run(elps + seeds, pure=True)          # no set builtins at all
+    assert m3.relation("u") == m4.relation("u")
+    print("-> the axiomatised program derives the same u/3 relation "
+          f"({len(m4.relation('u'))} rows) with no union builtin.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""repro - a full reproduction of Kuper's *Logic Programming with Sets*
+(PODS 1987 / JCSS 41(1), 1990).
+
+The package provides:
+
+* ``repro.core`` - the two-sorted LPS/ELPS language: terms, set values,
+  restricted universal quantifiers, clauses and programs;
+* ``repro.semantics`` - Herbrand models, model checking, the ``T_P``
+  operator and least-fixpoint / minimal-model semantics (Section 3);
+* ``repro.engine`` - a bottom-up Datalog-with-sets evaluation engine
+  (naive and semi-naive, stratified negation, grouping, arithmetic
+  built-ins) plus a top-down prover;
+* ``repro.transform`` - the paper's constructive theorems as program
+  transformations (positive formulas -> LPS, ELPS <-> Horn+union <->
+  Horn+scons, LDL grouping <-> ELPS with negation, set construction with
+  stratified negation);
+* ``repro.lang`` - a parser and pretty-printer for a concrete LPS syntax;
+* ``repro.nested`` - a nested (non-1NF) relational-algebra substrate;
+* ``repro.baseline`` - a from-scratch mini-Prolog running the
+  introduction's list encodings, used as the benchmark baseline;
+* ``repro.workloads`` - synthetic workload generators for the benchmarks.
+
+Quickstart::
+
+    from repro import parse_program, solve
+
+    program = parse_program(\'\'\'
+        edge(a, b). edge(b, c).
+        path(x, y) :- edge(x, y).
+        path(x, z) :- edge(x, y), path(y, z).
+    \'\'\')
+    model = solve(program)
+    assert model.holds_str("path(a, c)")
+"""
+
+from . import core
+from .core import *  # noqa: F401,F403 - re-export the core API
+from .engine import Database, Evaluator, Model, solve
+from .lang import parse_atom, parse_program, parse_term
+from .semantics import Interpretation, TpOperator, least_fixpoint
+
+__version__ = "1.0.0"
+
+__all__ = core.__all__ + [
+    "Database",
+    "Evaluator",
+    "Model",
+    "solve",
+    "parse_program",
+    "parse_atom",
+    "parse_term",
+    "Interpretation",
+    "TpOperator",
+    "least_fixpoint",
+    "__version__",
+]

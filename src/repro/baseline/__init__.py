@@ -1,0 +1,40 @@
+"""Baselines: the introduction's Prolog-with-lists encoding of sets.
+
+* :mod:`repro.baseline.prolog` — a from-scratch mini-Prolog (SLD
+  resolution, unification, lists, arithmetic builtins);
+* :mod:`repro.baseline.listlib` — the paper's ``member``/``disj`` list
+  programs and friends, wrapped for the B1 benchmark.
+"""
+
+from .prolog import (
+    NIL,
+    Bindings,
+    PAtom,
+    PClause,
+    PrologEngine,
+    PStruct,
+    PVar,
+    from_pterm,
+    plist,
+    struct,
+    to_pterm,
+    unify,
+)
+from .listlib import ListSetBaseline, list_clauses
+
+__all__ = [
+    "PVar",
+    "PAtom",
+    "PStruct",
+    "PClause",
+    "NIL",
+    "Bindings",
+    "unify",
+    "plist",
+    "struct",
+    "to_pterm",
+    "from_pterm",
+    "PrologEngine",
+    "list_clauses",
+    "ListSetBaseline",
+]

@@ -1,0 +1,116 @@
+"""The paper's introduction, verbatim: sets as Prolog lists.
+
+These are the list programs the introduction uses to motivate LPS — the
+programmer "has to specify a lot of details about the implementation, such
+as how to iterate over the sets":
+
+``member/2``::
+
+    member(X, [X | L]).
+    member(X, [Y | L]) :- member(X, L).
+
+``disj/2`` (the paper's recursion on both lists)::
+
+    disj([], L).
+    disj([X | L1], L2) :- nonmember(X, L2), disj(L1, L2).
+    nonmember(X, []).
+    nonmember(X, [Y | L]) :- X \\= Y, nonmember(X, L).
+
+plus ``subset/2``, ``union/3`` and ``sumlist/2`` in the same style, used by
+benchmark B1 against the LPS engine's declarative definitions.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from .prolog import NIL, PClause, PrologEngine, PStruct, PVar, plist, struct
+
+X, Y, L, L1, L2, L3, M, N, K = (PVar(n) for n in
+                                ("X", "Y", "L", "L1", "L2", "L3", "M", "N", "K"))
+
+
+def cons(head, tail) -> PStruct:
+    return PStruct(".", (head, tail))
+
+
+def list_clauses() -> list[PClause]:
+    """The introduction's list library."""
+    return [
+        # member(X, [X|L]).
+        PClause(struct("member", X, cons(X, L))),
+        # member(X, [Y|L]) :- member(X, L).
+        PClause(struct("member", X, cons(Y, L)), (struct("member", X, L),)),
+        # nonmember(X, []).
+        PClause(struct("nonmember", X, NIL)),
+        # nonmember(X, [Y|L]) :- X \= Y, nonmember(X, L).
+        PClause(
+            struct("nonmember", X, cons(Y, L)),
+            (struct("\\=", X, Y), struct("nonmember", X, L)),
+        ),
+        # disj([], L).
+        PClause(struct("disj", NIL, L)),
+        # disj([X|L1], L2) :- nonmember(X, L2), disj(L1, L2).
+        PClause(
+            struct("disj", cons(X, L1), L2),
+            (struct("nonmember", X, L2), struct("disj", L1, L2)),
+        ),
+        # subset([], L).
+        PClause(struct("subset", NIL, L)),
+        # subset([X|L1], L2) :- member(X, L2), subset(L1, L2).
+        PClause(
+            struct("subset", cons(X, L1), L2),
+            (struct("member", X, L2), struct("subset", L1, L2)),
+        ),
+        # union([], L, L).
+        PClause(struct("union", NIL, L, L)),
+        # union([X|L1], L2, [X|L3]) :- nonmember(X, L2), union(L1, L2, L3).
+        PClause(
+            struct("union", cons(X, L1), L2, cons(X, L3)),
+            (struct("nonmember", X, L2), struct("union", L1, L2, L3)),
+        ),
+        # union([X|L1], L2, L3) :- member(X, L2), union(L1, L2, L3).
+        PClause(
+            struct("union", cons(X, L1), L2, L3),
+            (struct("member", X, L2), struct("union", L1, L2, L3)),
+        ),
+        # sumlist([], 0).
+        PClause(struct("sumlist", NIL, 0)),
+        # sumlist([X|L], N) :- sumlist(L, M), N is X + M.
+        PClause(
+            struct("sumlist", cons(X, L), N),
+            (struct("sumlist", L, M), struct("is", N, PStruct("+", (X, M)))),
+        ),
+    ]
+
+
+class ListSetBaseline:
+    """Convenience wrapper: the intro's list encoding as a set library."""
+
+    def __init__(self, max_depth: int = 1_000_000) -> None:
+        self.engine = PrologEngine(list_clauses(), max_depth=max_depth)
+
+    def member(self, x: Any, xs: Sequence[Any]) -> bool:
+        return self.engine.holds(struct("member", x, plist(xs)))
+
+    def disjoint(self, xs: Sequence[Any], ys: Sequence[Any]) -> bool:
+        return self.engine.holds(struct("disj", plist(xs), plist(ys)))
+
+    def subset(self, xs: Sequence[Any], ys: Sequence[Any]) -> bool:
+        return self.engine.holds(struct("subset", plist(xs), plist(ys)))
+
+    def union(self, xs: Sequence[Any], ys: Sequence[Any]) -> list[Any]:
+        from .prolog import from_pterm
+
+        z = PVar("Z")
+        for answer in self.engine.solve(struct("union", plist(xs), plist(ys), z)):
+            return from_pterm(answer["Z"])
+        raise AssertionError("union/3 always has a solution")
+
+    def sumlist(self, xs: Sequence[int]) -> int:
+        from .prolog import from_pterm
+
+        n = PVar("N")
+        for answer in self.engine.solve(struct("sumlist", plist(xs), n)):
+            return from_pterm(answer["N"])
+        raise AssertionError("sumlist/2 always has a solution")

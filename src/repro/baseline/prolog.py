@@ -1,0 +1,375 @@
+"""A from-scratch mini-Prolog: SLD resolution over first-order terms.
+
+The introduction of the paper motivates LPS by contrast with how "a
+programmer would normally deal with a set of objects in Prolog": encode the
+set as a **list** and define predicates by recursion on list structure
+(``member``, the clumsy ``disj``).  To benchmark that contrast honestly we
+need an actual Prolog; this module implements the classical machinery from
+scratch:
+
+* terms: variables, atoms (constants), integers and compound terms, with
+  lists as the usual ``'.'/2`` + ``[]`` encoding;
+* sound unification with occurs check (configurable off, Prolog-style);
+* SLD resolution with leftmost selection and clause order, implemented
+  iteratively with an explicit trail so deep recursions don't hit Python's
+  stack limit;
+* a tiny builtin set (``=``, ``\\=``, comparison, integer arithmetic via
+  ``is/2``) sufficient for the paper's list programs.
+
+It is deliberately minimal — no cut, no negation — because the baseline
+programs need none of that.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, Optional, Sequence, Union
+
+from ..core.errors import EvaluationError
+
+
+# ---------------------------------------------------------------------------
+# Terms
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True, slots=True)
+class PVar:
+    """A Prolog variable (identity by name within a clause)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class PAtom:
+    """A Prolog atom or integer constant."""
+
+    value: Union[str, int]
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True, slots=True)
+class PStruct:
+    """A compound term ``f(t1, ..., tn)``."""
+
+    functor: str
+    args: tuple
+
+    def __str__(self) -> str:
+        if self.functor == "." and len(self.args) == 2:
+            return _list_str(self)
+        return f"{self.functor}({', '.join(str(a) for a in self.args)})"
+
+
+PTerm = Union[PVar, PAtom, PStruct]
+
+NIL = PAtom("[]")
+
+
+def _list_str(t: PTerm) -> str:
+    items = []
+    while isinstance(t, PStruct) and t.functor == "." and len(t.args) == 2:
+        items.append(str(t.args[0]))
+        t = t.args[1]
+    tail = "" if t == NIL else f"|{t}"
+    return "[" + ", ".join(items) + tail + "]"
+
+
+def plist(items: Iterable[Any], tail: PTerm = NIL) -> PTerm:
+    """Build a Prolog list term from Python values."""
+    out = tail
+    for item in reversed(list(items)):
+        out = PStruct(".", (to_pterm(item), out))
+    return out
+
+
+def to_pterm(value: Any) -> PTerm:
+    """Convert Python values: str/int → atom, list/tuple → list term."""
+    if isinstance(value, (PVar, PAtom, PStruct)):
+        return value
+    if isinstance(value, (str, int)):
+        return PAtom(value)
+    if isinstance(value, (list, tuple)):
+        return plist(value)
+    raise EvaluationError(f"cannot convert {value!r} to a Prolog term")
+
+
+def from_pterm(t: PTerm) -> Any:
+    """Convert ground terms back to Python (lists become Python lists)."""
+    if isinstance(t, PAtom):
+        if t == NIL:
+            return []
+        return t.value
+    if isinstance(t, PStruct) and t.functor == "." and len(t.args) == 2:
+        out = [from_pterm(t.args[0])]
+        rest = from_pterm(t.args[1])
+        if isinstance(rest, list):
+            return out + rest
+        return out + [rest]
+    if isinstance(t, PStruct):
+        return (t.functor, *[from_pterm(a) for a in t.args])
+    raise EvaluationError(f"non-ground term {t}")
+
+
+# ---------------------------------------------------------------------------
+# Bindings
+# ---------------------------------------------------------------------------
+
+class Bindings:
+    """A mutable binding store with a trail for backtracking."""
+
+    __slots__ = ("_map", "_trail")
+
+    def __init__(self) -> None:
+        self._map: dict[PVar, PTerm] = {}
+        self._trail: list[PVar] = []
+
+    def mark(self) -> int:
+        return len(self._trail)
+
+    def undo(self, mark: int) -> None:
+        while len(self._trail) > mark:
+            del self._map[self._trail.pop()]
+
+    def bind(self, v: PVar, t: PTerm) -> None:
+        self._map[v] = t
+        self._trail.append(v)
+
+    def walk(self, t: PTerm) -> PTerm:
+        while isinstance(t, PVar) and t in self._map:
+            t = self._map[t]
+        return t
+
+    def resolve(self, t: PTerm) -> PTerm:
+        """Fully substitute (for answer extraction)."""
+        t = self.walk(t)
+        if isinstance(t, PStruct):
+            return PStruct(t.functor, tuple(self.resolve(a) for a in t.args))
+        return t
+
+
+def unify(t1: PTerm, t2: PTerm, b: Bindings, occurs_check: bool = False) -> bool:
+    """Destructive unification; caller must undo via the trail on failure."""
+    stack = [(t1, t2)]
+    while stack:
+        a, c = stack.pop()
+        a, c = b.walk(a), b.walk(c)
+        if a == c:
+            continue
+        if isinstance(a, PVar):
+            if occurs_check and _occurs(a, c, b):
+                return False
+            b.bind(a, c)
+            continue
+        if isinstance(c, PVar):
+            if occurs_check and _occurs(c, a, b):
+                return False
+            b.bind(c, a)
+            continue
+        if isinstance(a, PAtom) or isinstance(c, PAtom):
+            return False
+        if a.functor != c.functor or len(a.args) != len(c.args):
+            return False
+        stack.extend(zip(a.args, c.args))
+    return True
+
+
+def _occurs(v: PVar, t: PTerm, b: Bindings) -> bool:
+    t = b.walk(t)
+    if t == v:
+        return True
+    if isinstance(t, PStruct):
+        return any(_occurs(v, a, b) for a in t.args)
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Clauses and the interpreter
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class PClause:
+    """``head :- body``, body a tuple of goals."""
+
+    head: PStruct
+    body: tuple = ()
+
+
+def struct(functor: str, *args: Any) -> PStruct:
+    return PStruct(functor, tuple(to_pterm(a) for a in args))
+
+
+class PrologEngine:
+    """Leftmost-selection SLD resolution with iterative deepening disabled
+    (plain depth bound) — the classical Prolog search strategy."""
+
+    def __init__(self, clauses: Sequence[PClause], max_depth: int = 1_000_000):
+        self._by_functor: dict[tuple[str, int], list[PClause]] = {}
+        for c in clauses:
+            key = (c.head.functor, len(c.head.args))
+            self._by_functor.setdefault(key, []).append(c)
+        self.max_depth = max_depth
+        self._fresh = itertools.count()
+
+    def solve(self, *goals: PStruct) -> Iterator[dict[str, Any]]:
+        """Enumerate answers as name → resolved-term dictionaries."""
+        b = Bindings()
+        query_vars = sorted(_vars_of_terms(goals), key=lambda v: v.name)
+        for _ in self._solve(list(goals), b, 0):
+            yield {
+                v.name: b.resolve(v)
+                for v in query_vars
+            }
+
+    def holds(self, *goals: PStruct) -> bool:
+        return next(self.solve(*goals), None) is not None
+
+    def count(self, *goals: PStruct) -> int:
+        return sum(1 for _ in self.solve(*goals))
+
+    # -- core loop ----------------------------------------------------------------
+
+    def _solve(self, goals: list, b: Bindings, depth: int) -> Iterator[None]:
+        if not goals:
+            yield None
+            return
+        if depth > self.max_depth:
+            raise EvaluationError(f"SLD depth limit {self.max_depth} exceeded")
+        goal = b.walk(goals[0])
+        rest = goals[1:]
+        if isinstance(goal, PAtom):
+            goal = PStruct(goal.value, ())  # 0-ary predicate
+        if not isinstance(goal, PStruct):
+            raise EvaluationError(f"goal {goal} is not callable")
+
+        builtin = _BUILTINS.get((goal.functor, len(goal.args)))
+        if builtin is not None:
+            mark = b.mark()
+            for _ in builtin(goal.args, b):
+                yield from self._solve(rest, b, depth + 1)
+            b.undo(mark)
+            return
+
+        for clause in self._by_functor.get((goal.functor, len(goal.args)), ()):
+            renamed = self._rename(clause)
+            mark = b.mark()
+            if unify(goal, renamed.head, b):
+                yield from self._solve(list(renamed.body) + rest, b, depth + 1)
+            b.undo(mark)
+
+    def _rename(self, c: PClause) -> PClause:
+        suffix = f"_{next(self._fresh)}"
+        mapping: dict[PVar, PVar] = {}
+
+        def ren(t: PTerm) -> PTerm:
+            if isinstance(t, PVar):
+                if t not in mapping:
+                    mapping[t] = PVar(t.name + suffix)
+                return mapping[t]
+            if isinstance(t, PStruct):
+                return PStruct(t.functor, tuple(ren(a) for a in t.args))
+            return t
+
+        return PClause(
+            head=ren(c.head),
+            body=tuple(ren(g) for g in c.body),
+        )
+
+
+def _vars_of_terms(terms: Iterable[PTerm]) -> set[PVar]:
+    out: set[PVar] = set()
+
+    def walk(t: PTerm) -> None:
+        if isinstance(t, PVar):
+            out.add(t)
+        elif isinstance(t, PStruct):
+            for a in t.args:
+                walk(a)
+
+    for t in terms:
+        walk(t)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Builtins:  =/2, \=/2, is/2, </2, =</2, >/2, >=/2, ==/2, \==/2
+# ---------------------------------------------------------------------------
+
+def _bi_unify(args, b: Bindings):
+    mark = b.mark()
+    if unify(args[0], args[1], b):
+        yield None
+    else:
+        b.undo(mark)
+
+
+def _bi_not_unify(args, b: Bindings):
+    mark = b.mark()
+    ok = unify(args[0], args[1], b)
+    b.undo(mark)
+    if not ok:
+        yield None
+
+
+def _eval_arith(t: PTerm, b: Bindings) -> int:
+    t = b.walk(t)
+    if isinstance(t, PAtom) and isinstance(t.value, int):
+        return t.value
+    if isinstance(t, PStruct) and len(t.args) == 2:
+        l = _eval_arith(t.args[0], b)
+        r = _eval_arith(t.args[1], b)
+        if t.functor == "+":
+            return l + r
+        if t.functor == "-":
+            return l - r
+        if t.functor == "*":
+            return l * r
+        if t.functor == "//":
+            return l // r
+    raise EvaluationError(f"cannot evaluate arithmetic term {t}")
+
+
+def _bi_is(args, b: Bindings):
+    value = PAtom(_eval_arith(args[1], b))
+    mark = b.mark()
+    if unify(args[0], value, b):
+        yield None
+    else:
+        b.undo(mark)
+
+
+def _make_compare(op):
+    def bi(args, b: Bindings):
+        if op(_eval_arith(args[0], b), _eval_arith(args[1], b)):
+            yield None
+    return bi
+
+
+def _bi_struct_eq(args, b: Bindings):
+    if b.resolve(args[0]) == b.resolve(args[1]):
+        yield None
+
+
+def _bi_struct_neq(args, b: Bindings):
+    if b.resolve(args[0]) != b.resolve(args[1]):
+        yield None
+
+
+import operator as _op
+
+_BUILTINS = {
+    ("=", 2): _bi_unify,
+    ("\\=", 2): _bi_not_unify,
+    ("is", 2): _bi_is,
+    ("<", 2): _make_compare(_op.lt),
+    ("=<", 2): _make_compare(_op.le),
+    (">", 2): _make_compare(_op.gt),
+    (">=", 2): _make_compare(_op.ge),
+    ("==", 2): _bi_struct_eq,
+    ("\\==", 2): _bi_struct_neq,
+}

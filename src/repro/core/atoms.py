@@ -1,0 +1,113 @@
+"""Atomic formulas and literals.
+
+An :class:`Atom` is ``p(t1, ..., tn)`` for a predicate symbol ``p``; the
+built-in predicates are equality (``=``) and membership (``in``), which
+Definition 5 forbids in clause heads.  A :class:`Literal` is an atom with a
+polarity; negative literals belong to the stratified-negation extension of
+Sections 4.2 and 6.2, not to core LPS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .errors import SortError
+from .sorts import EQUALS, MEMBER, SORT_A, SORT_S, is_special_predicate, sorts_compatible
+from .substitution import Subst
+from .terms import Term, Var, free_vars as term_free_vars
+
+
+@dataclass(frozen=True, slots=True)
+class Atom:
+    """An atomic formula ``p(t1, ..., tn)``."""
+
+    pred: str
+    args: tuple[Term, ...]
+
+    @property
+    def arity(self) -> int:
+        return len(self.args)
+
+    def is_special(self) -> bool:
+        """Whether the predicate is built-in (``=`` or ``in``)."""
+        return is_special_predicate(self.pred)
+
+    def is_ground(self) -> bool:
+        return all(a.is_ground() for a in self.args)
+
+    def free_vars(self) -> set[Var]:
+        out: set[Var] = set()
+        for a in self.args:
+            out |= term_free_vars(a)
+        return out
+
+    def substitute(self, theta: Subst) -> "Atom":
+        return Atom(self.pred, tuple(theta.apply(a) for a in self.args))
+
+    def __str__(self) -> str:
+        if self.pred == EQUALS and len(self.args) == 2:
+            return f"{self.args[0]} = {self.args[1]}"
+        if self.pred == MEMBER and len(self.args) == 2:
+            return f"{self.args[0]} in {self.args[1]}"
+        if not self.args:
+            return self.pred
+        return f"{self.pred}({', '.join(str(a) for a in self.args)})"
+
+
+def atom(pred: str, *args: Term) -> Atom:
+    """Convenience constructor for an atom."""
+    return Atom(pred, tuple(args))
+
+
+def equals(left: Term, right: Term) -> Atom:
+    """The built-in equality atom; the ``=a`` / ``=s`` distinction of the
+    paper is recovered from the argument sorts."""
+    if not sorts_compatible(left.sort, right.sort):
+        raise SortError(
+            f"ill-sorted equality {left} = {right} "
+            f"({left.sort} vs {right.sort})"
+        )
+    return Atom(EQUALS, (left, right))
+
+
+def member(elem: Term, container: Term) -> Atom:
+    """The built-in membership atom ``elem in container``."""
+    if elem.sort == SORT_S:
+        raise SortError(f"membership left operand {elem} has sort 's'; LPS "
+                        "membership relates atoms to sets")
+    if container.sort == SORT_A:
+        raise SortError(f"membership right operand {container} has sort 'a'")
+    return Atom(MEMBER, (elem, container))
+
+
+@dataclass(frozen=True, slots=True)
+class Literal:
+    """An atom with a polarity.  ``Literal(a, False)`` is ``not a``."""
+
+    atom: Atom
+    positive: bool = True
+
+    def is_ground(self) -> bool:
+        return self.atom.is_ground()
+
+    def free_vars(self) -> set[Var]:
+        return self.atom.free_vars()
+
+    def substitute(self, theta: Subst) -> "Literal":
+        return Literal(self.atom.substitute(theta), self.positive)
+
+    def negate(self) -> "Literal":
+        return Literal(self.atom, not self.positive)
+
+    def __str__(self) -> str:
+        return str(self.atom) if self.positive else f"not {self.atom}"
+
+
+def pos(a: Atom) -> Literal:
+    """A positive literal."""
+    return Literal(a, True)
+
+
+def neg(a: Atom) -> Literal:
+    """A negative literal (stratified-negation extension)."""
+    return Literal(a, False)

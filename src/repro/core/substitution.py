@@ -1,0 +1,130 @@
+"""Substitutions over two-sorted terms.
+
+A substitution maps variables to terms of a compatible sort.  Applying a
+substitution canonicalizes on the fly, so ground set constructors collapse to
+canonical :class:`~repro.core.terms.SetValue` objects — this is what makes a
+"ground instance" of a clause (Definition in Section 3) live in the Herbrand
+universe of Definition 7 rather than in a free term algebra.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Optional
+
+from .errors import SortError
+from .sorts import sorts_compatible
+from .terms import App, Const, SetExpr, SetValue, Term, Var, canonicalize
+
+
+class Subst(Mapping[Var, Term]):
+    """An immutable substitution ``{x1/t1, ..., xn/tn}``.
+
+    Bindings are sort-checked at construction: a sort-``a`` variable can only
+    be bound to a sort-``a`` term, a sort-``s`` variable to a sort-``s``
+    term, and an ELPS ``u`` variable to anything.
+    """
+
+    __slots__ = ("_map",)
+
+    def __init__(self, bindings: Optional[Mapping[Var, Term]] = None) -> None:
+        mapping: dict[Var, Term] = {}
+        if bindings:
+            for v, t in bindings.items():
+                if not isinstance(v, Var):
+                    raise SortError(f"substitution key {v!r} is not a variable")
+                if not sorts_compatible(v.sort, t.sort):
+                    raise SortError(
+                        f"cannot bind {v} (sort {v.sort}) to {t} (sort {t.sort})"
+                    )
+                mapping[v] = canonicalize(t)
+        self._map = mapping
+
+    # -- Mapping interface ---------------------------------------------------
+    def __getitem__(self, key: Var) -> Term:
+        return self._map[key]
+
+    def __iter__(self) -> Iterator[Var]:
+        return iter(self._map)
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{v}/{t}" for v, t in sorted(
+            self._map.items(), key=lambda kv: kv[0].name))
+        return "{" + inner + "}"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Subst):
+            return self._map == other._map
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._map.items()))
+
+    # -- Core operations -----------------------------------------------------
+    def apply(self, term: Term) -> Term:
+        """Apply the substitution to a term, canonicalizing ground sets."""
+        return canonicalize(self._apply(term))
+
+    def _apply(self, term: Term) -> Term:
+        if isinstance(term, Var):
+            # Follow variable chains (x → y → t) so that substitutions built
+            # incrementally by unification resolve fully; the occurs check in
+            # unification keeps the chains acyclic, and the seen-guard makes
+            # misuse fail cleanly rather than loop.
+            seen = None
+            while isinstance(term, Var) and term in self._map:
+                if seen is None:
+                    seen = {term}
+                elif term in seen:
+                    return term  # defensive: cyclic binding
+                else:
+                    seen.add(term)
+                term = self._map[term]
+            if isinstance(term, Var):
+                return term
+            return self._apply(term)
+        if isinstance(term, (Const, SetValue)):
+            return term
+        if isinstance(term, App):
+            return App(term.fname, tuple(self._apply(a) for a in term.args))
+        if isinstance(term, SetExpr):
+            return SetExpr(tuple(self._apply(e) for e in term.elems))
+        raise TypeError(f"not a term: {term!r}")
+
+    def bind(self, var: Var, term: Term) -> "Subst":
+        """Return a new substitution with one extra binding."""
+        new = dict(self._map)
+        new[var] = term
+        return Subst(new)
+
+    def extend(self, bindings: Mapping[Var, Term]) -> "Subst":
+        """Return a new substitution with the extra ``bindings`` added."""
+        new = dict(self._map)
+        new.update(bindings)
+        return Subst(new)
+
+    def compose(self, other: "Subst") -> "Subst":
+        """Composition ``self ; other``: apply ``self`` first, then ``other``.
+
+        ``(self.compose(other)).apply(t) == other.apply(self.apply(t))``.
+        """
+        new: dict[Var, Term] = {v: other.apply(t) for v, t in self._map.items()}
+        for v, t in other._map.items():
+            if v not in new:
+                new[v] = t
+        return Subst(new)
+
+    def restrict(self, variables: Iterable[Var]) -> "Subst":
+        """Restrict the domain to the given variables."""
+        keep = set(variables)
+        return Subst({v: t for v, t in self._map.items() if v in keep})
+
+    def is_ground_for(self, variables: Iterable[Var]) -> bool:
+        """Whether every listed variable is bound to a ground term."""
+        return all(v in self._map and self._map[v].is_ground() for v in variables)
+
+
+#: The empty substitution.
+EMPTY_SUBST = Subst()

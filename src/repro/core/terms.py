@@ -1,0 +1,350 @@
+"""Terms of the LPS/ELPS languages (Definitions 1, 2 and 7 of the paper).
+
+The term language has:
+
+* **constants** ``c`` of sort ``a`` (we allow Python ``str`` and ``int``
+  payloads; integers make the paper's arithmetic examples runnable),
+* **variables** of sort ``a`` (written ``x, y, z`` in the paper), sort ``s``
+  (written ``X, Y, Z``) or the ELPS pseudo-sort ``u``,
+* **function applications** ``f(t1, ..., tn)`` of uninterpreted function
+  symbols — always of sort ``a`` (Definition 1(2); see Example 8 for why), and
+* **set constructors** ``{t1, ..., tn}`` — the paper's special symbols
+  ``{_n`` — of sort ``s``.
+
+A crucial point of the paper's Herbrand semantics (Definition 7) is that a
+*ground* set constructor is interpreted as the **finite set of its element
+terms**, not as a syntactic tree: ``{a, b}``, ``{b, a}`` and ``{a, b, a}``
+all denote the same object.  We mirror this with two node types:
+
+* :class:`SetExpr` — the syntactic constructor, possibly containing
+  variables, with element order and duplicates preserved;
+* :class:`SetValue` — the canonical ground value wrapping a ``frozenset``.
+
+:func:`canonicalize` maps every ground term to its value form; substitution
+canonicalizes automatically, so fully instantiated terms always compare by
+set identity, as Lemma 1 requires.
+
+In ELPS (Section 5) elements of a :class:`SetValue` may themselves be
+:class:`SetValue` objects, giving arbitrarily nested finite sets;
+:func:`nesting_depth` measures the nesting and LPS mode rejects depth > 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Union
+
+from .errors import SortError
+from .sorts import SORT_A, SORT_S, SORT_U, check_sort
+
+
+class Term:
+    """Abstract base class for all term nodes."""
+
+    __slots__ = ()
+
+    @property
+    def sort(self) -> str:
+        raise NotImplementedError
+
+    def is_ground(self) -> bool:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True, slots=True)
+class Var(Term):
+    """A variable, tagged with its sort.
+
+    Following the paper's convention, lower-case names are customary for sort
+    ``a`` and upper-case for sort ``s``, but the sort tag — not the spelling —
+    is authoritative.
+    """
+
+    name: str
+    var_sort: str = SORT_A
+
+    def __post_init__(self) -> None:
+        check_sort(self.var_sort)
+
+    @property
+    def sort(self) -> str:
+        return self.var_sort
+
+    def is_ground(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return f"Var({self.name!r}, {self.var_sort!r})"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+ConstPayload = Union[str, int]
+
+
+@dataclass(frozen=True, slots=True)
+class Const(Term):
+    """A constant of sort ``a``.
+
+    The payload may be a string (symbolic constant) or an int (numeric
+    constant, used by the arithmetic built-ins of Examples 5 and 6).
+    """
+
+    value: ConstPayload
+
+    @property
+    def sort(self) -> str:
+        return SORT_A
+
+    def is_ground(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return f"Const({self.value!r})"
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True, slots=True)
+class App(Term):
+    """Application ``f(t1, ..., tn)`` of an uninterpreted function symbol.
+
+    Every argument must be of sort ``a`` and the result is of sort ``a``
+    (Definition 2(3)).  Ground ``App`` terms are Herbrand-universe elements:
+    the interpretation of ``f`` is concatenation of the symbol to its
+    arguments (Definition 9(3)).
+    """
+
+    fname: str
+    args: tuple[Term, ...]
+
+    def __post_init__(self) -> None:
+        for arg in self.args:
+            if arg.sort == SORT_S:
+                raise SortError(
+                    f"function {self.fname!r} applied to a set-sorted argument "
+                    f"{arg}; function symbols take sort-'a' arguments only"
+                )
+
+    @property
+    def sort(self) -> str:
+        return SORT_A
+
+    def is_ground(self) -> bool:
+        return all(arg.is_ground() for arg in self.args)
+
+    def __repr__(self) -> str:
+        return f"App({self.fname!r}, {self.args!r})"
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(a) for a in self.args)
+        return f"{self.fname}({inner})"
+
+
+@dataclass(frozen=True, slots=True)
+class SetExpr(Term):
+    """The syntactic set constructor ``{t1, ..., tn}`` (the paper's ``{_n``).
+
+    Elements may contain variables; order and multiplicity are preserved at
+    the syntactic level and erased on canonicalization.  In LPS the elements
+    must be of sort ``a``; ELPS relaxes this (nested constructors), which is
+    why the constructor only rejects elements that are *provably* set-sorted
+    when ``strict_lps`` terms are checked by the clause layer, not here.
+    """
+
+    elems: tuple[Term, ...]
+
+    @property
+    def sort(self) -> str:
+        return SORT_S
+
+    def is_ground(self) -> bool:
+        return all(e.is_ground() for e in self.elems)
+
+    def __repr__(self) -> str:
+        return f"SetExpr({self.elems!r})"
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(e) for e in self.elems)
+        return "{" + inner + "}"
+
+
+@dataclass(frozen=True, slots=True)
+class SetValue(Term):
+    """A canonical ground finite set — an element of ``U_s`` (Definition 7).
+
+    Wraps a ``frozenset`` of ground values.  Two set values are equal exactly
+    when they contain the same elements, which is what makes Lemma 1 hold in
+    the implementation.
+    """
+
+    elems: frozenset = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        for e in self.elems:
+            if not isinstance(e, Term) or not e.is_ground():
+                raise SortError(f"SetValue element {e!r} is not a ground term")
+            if isinstance(e, SetExpr):
+                raise SortError(
+                    "SetValue elements must be canonical; got a SetExpr "
+                    f"{e!r} (canonicalize first)"
+                )
+
+    @property
+    def sort(self) -> str:
+        return SORT_S
+
+    def is_ground(self) -> bool:
+        return True
+
+    def __len__(self) -> int:
+        return len(self.elems)
+
+    def __contains__(self, item: Term) -> bool:
+        return item in self.elems
+
+    def __iter__(self) -> Iterator[Term]:
+        return iter(self.elems)
+
+    def sorted_elems(self) -> list[Term]:
+        """Elements in a deterministic order (for printing and iteration)."""
+        return sorted(self.elems, key=order_key)
+
+    def __repr__(self) -> str:
+        return f"SetValue({{{', '.join(map(repr, self.sorted_elems()))}}})"
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(e) for e in self.sorted_elems())
+        return "{" + inner + "}"
+
+
+#: The empty set value, the paper's ``∅`` / ``{_0``.
+EMPTY_SET = SetValue(frozenset())
+
+
+def mkset(*elems: Term) -> Term:
+    """Build a set term from element terms, canonicalizing when ground."""
+    return canonicalize(SetExpr(tuple(elems)))
+
+
+def setvalue(elems: Iterable[Term]) -> SetValue:
+    """Build a :class:`SetValue` from ground element terms."""
+    return SetValue(frozenset(canonicalize(e) for e in elems))
+
+
+def canonicalize(term: Term) -> Term:
+    """Rewrite every *ground* :class:`SetExpr` inside ``term`` to a :class:`SetValue`.
+
+    Non-ground subterms are left alone.  Idempotent.
+    """
+    if isinstance(term, (Var, Const, SetValue)):
+        return term
+    if isinstance(term, App):
+        new_args = tuple(canonicalize(a) for a in term.args)
+        return term if new_args == term.args else App(term.fname, new_args)
+    if isinstance(term, SetExpr):
+        new_elems = tuple(canonicalize(e) for e in term.elems)
+        if all(e.is_ground() for e in new_elems):
+            return SetValue(frozenset(new_elems))
+        return SetExpr(new_elems)
+    raise TypeError(f"not a term: {term!r}")
+
+
+def free_vars(term: Term) -> set[Var]:
+    """The set of variables occurring in ``term``."""
+    out: set[Var] = set()
+    _collect_vars(term, out)
+    return out
+
+
+def _collect_vars(term: Term, out: set[Var]) -> None:
+    if isinstance(term, Var):
+        out.add(term)
+    elif isinstance(term, App):
+        for a in term.args:
+            _collect_vars(a, out)
+    elif isinstance(term, SetExpr):
+        for e in term.elems:
+            _collect_vars(e, out)
+    # Const and SetValue are ground.
+
+
+def subterms(term: Term) -> Iterator[Term]:
+    """Yield ``term`` and all of its subterms (set values yield elements)."""
+    yield term
+    if isinstance(term, App):
+        for a in term.args:
+            yield from subterms(a)
+    elif isinstance(term, SetExpr):
+        for e in term.elems:
+            yield from subterms(e)
+    elif isinstance(term, SetValue):
+        for e in term.elems:
+            yield from subterms(e)
+
+
+def nesting_depth(term: Term) -> int:
+    """Set-nesting depth of a term: atoms have depth 0, ``{a}`` depth 1, ``{{a}}`` 2.
+
+    LPS permits depth ≤ 1; ELPS (Section 5) permits arbitrary finite depth.
+    """
+    if isinstance(term, (Const, Var)):
+        return 1 if isinstance(term, Var) and term.sort == SORT_S else 0
+    if isinstance(term, App):
+        return max((nesting_depth(a) for a in term.args), default=0)
+    if isinstance(term, (SetExpr, SetValue)):
+        elems = term.elems
+        return 1 + max((nesting_depth(e) for e in elems), default=0)
+    raise TypeError(f"not a term: {term!r}")
+
+
+def order_key(term: Term):
+    """A total-order key over ground terms, used for deterministic printing.
+
+    Orders by shape class first, then structurally.  Integer constants order
+    numerically before string constants.
+    """
+    if isinstance(term, Const):
+        if isinstance(term.value, int):
+            return (0, 0, term.value)
+        return (0, 1, term.value)
+    if isinstance(term, App):
+        return (1, term.fname, tuple(order_key(a) for a in term.args))
+    if isinstance(term, SetValue):
+        return (2, len(term.elems), tuple(sorted(order_key(e) for e in term.elems)))
+    if isinstance(term, Var):
+        return (3, term.var_sort, term.name)
+    if isinstance(term, SetExpr):
+        return (4, len(term.elems), tuple(order_key(e) for e in term.elems))
+    raise TypeError(f"not a term: {term!r}")
+
+
+# ---------------------------------------------------------------------------
+# Convenience constructors used pervasively in tests and examples.
+# ---------------------------------------------------------------------------
+
+def var_a(name: str) -> Var:
+    """An individual (sort ``a``) variable."""
+    return Var(name, SORT_A)
+
+
+def var_s(name: str) -> Var:
+    """A set (sort ``s``) variable."""
+    return Var(name, SORT_S)
+
+
+def var_u(name: str) -> Var:
+    """An untyped ELPS variable."""
+    return Var(name, SORT_U)
+
+
+def const(value: ConstPayload) -> Const:
+    """A constant of sort ``a``."""
+    return Const(value)
+
+
+def app(fname: str, *args: Term) -> App:
+    """A function application term."""
+    return App(fname, tuple(args))

@@ -1,0 +1,249 @@
+"""Unification and matching over two-sorted terms with set constructors.
+
+The paper notes (end of Section 3.2) that extending SLD resolution to LPS
+requires **arbitrary unifiers rather than a most general one** — set terms do
+not have unitary unification.  For example ``{x, y}`` unifies with the ground
+set ``{a, b}`` in two incomparable ways (``x/a, y/b`` and ``x/b, y/a``) and
+with ``{a}`` in one (``x/a, y/a``).
+
+This module therefore exposes unification as an *enumeration* of a complete,
+finite set of unifiers:
+
+* :func:`unify` — general two-sided unification.  For a set constructor
+  against a ground set value it enumerates element assignments and keeps
+  those whose result collapses to the right canonical set; for two
+  constructors it enumerates doubly-covering element pairings (each element
+  of either side must be matched by the other side), which is the classical
+  complete set for flat set-term unification without rest variables.
+* :func:`match` — one-way matching of a pattern against a ground term
+  (pattern variables bindable, target frozen).  This is what the bottom-up
+  engine and the top-down prover use on ground data.
+* :func:`unify_atoms` / :func:`match_atom` — pointwise lifts to atoms.
+
+Enumeration sizes are factorial in set-term width; :data:`MAX_SET_WIDTH`
+guards against pathological inputs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, Optional
+
+from .atoms import Atom
+from .errors import EvaluationError
+from .sorts import sorts_compatible
+from .substitution import EMPTY_SUBST, Subst
+from .terms import App, Const, SetExpr, SetValue, Term, Var, free_vars
+
+#: Largest set-constructor width for which we enumerate unifiers.
+MAX_SET_WIDTH = 8
+
+
+def unify(t1: Term, t2: Term, theta: Subst = EMPTY_SUBST) -> Iterator[Subst]:
+    """Enumerate substitutions ``σ ⊇ theta`` with ``σ(t1) == σ(t2)``.
+
+    The enumeration is complete for the fragment used by the engine (set
+    constructors of width ≤ :data:`MAX_SET_WIDTH`, no set-valued rest
+    variables inside constructors).  Duplicate substitutions are suppressed.
+    """
+    seen: set[Subst] = set()
+    for sigma in _unify(t1, t2, theta):
+        if sigma not in seen:
+            seen.add(sigma)
+            yield sigma
+
+
+def _unify(t1: Term, t2: Term, theta: Subst) -> Iterator[Subst]:
+    t1 = theta.apply(t1)
+    t2 = theta.apply(t2)
+    if t1 == t2:
+        yield theta
+        return
+    if isinstance(t1, Var):
+        yield from _bind(t1, t2, theta)
+        return
+    if isinstance(t2, Var):
+        yield from _bind(t2, t1, theta)
+        return
+    if isinstance(t1, Const) or isinstance(t2, Const):
+        return  # unequal constants (equality case handled above)
+    if isinstance(t1, App) and isinstance(t2, App):
+        if t1.fname != t2.fname or len(t1.args) != len(t2.args):
+            return
+        yield from _unify_seq(t1.args, t2.args, theta)
+        return
+    if isinstance(t1, SetValue) and isinstance(t2, SetValue):
+        return  # ground unequal sets
+    if isinstance(t1, SetExpr) and isinstance(t2, SetValue):
+        yield from _unify_expr_value(t1, t2, theta)
+        return
+    if isinstance(t2, SetExpr) and isinstance(t1, SetValue):
+        yield from _unify_expr_value(t2, t1, theta)
+        return
+    if isinstance(t1, SetExpr) and isinstance(t2, SetExpr):
+        yield from _unify_expr_expr(t1, t2, theta)
+        return
+    # sort clash (e.g. App vs SetValue): no unifier
+    return
+
+
+def _bind(v: Var, t: Term, theta: Subst) -> Iterator[Subst]:
+    if not sorts_compatible(v.sort, t.sort):
+        return
+    if v in free_vars(t):
+        return  # occurs check
+    yield theta.bind(v, t)
+
+
+def _unify_seq(
+    args1: tuple[Term, ...], args2: tuple[Term, ...], theta: Subst
+) -> Iterator[Subst]:
+    if not args1:
+        yield theta
+        return
+    for sigma in _unify(args1[0], args2[0], theta):
+        yield from _unify_seq(args1[1:], args2[1:], sigma)
+
+
+def _check_width(n: int) -> None:
+    if n > MAX_SET_WIDTH:
+        raise EvaluationError(
+            f"set-term unification over width {n} exceeds MAX_SET_WIDTH="
+            f"{MAX_SET_WIDTH}"
+        )
+
+
+def _unify_expr_value(expr: SetExpr, value: SetValue, theta: Subst) -> Iterator[Subst]:
+    """Unify a constructor ``{e1,…,em}`` with a ground set value.
+
+    Enumerate maps from constructor elements to value elements; a candidate
+    succeeds when, after elementwise unification, the instantiated
+    constructor canonicalizes to exactly ``value`` (this enforces the
+    covering condition: every member of ``value`` must be produced).
+    """
+    _check_width(max(len(expr.elems), len(value.elems)))
+    targets = value.sorted_elems()
+    if not expr.elems:
+        if not targets:
+            yield theta
+        return
+    if not targets:
+        return  # non-empty constructor cannot denote the empty set
+    for assignment in itertools.product(targets, repeat=len(expr.elems)):
+        for sigma in _unify_seq(expr.elems, tuple(assignment), theta):
+            if sigma.apply(expr) == value:
+                yield sigma
+
+
+def _unify_expr_expr(e1: SetExpr, e2: SetExpr, theta: Subst) -> Iterator[Subst]:
+    """Unify two set constructors via doubly-covering element pairings."""
+    _check_width(max(len(e1.elems), len(e2.elems)))
+    if not e1.elems and not e2.elems:
+        yield theta
+        return
+    if not e1.elems or not e2.elems:
+        return
+    n1, n2 = len(e1.elems), len(e2.elems)
+    for fwd in itertools.product(range(n2), repeat=n1):
+        for bwd in itertools.product(range(n1), repeat=n2):
+            # every element of e2 must be covered: either hit by fwd or
+            # matched back by bwd; the pairing equations enforce both maps.
+            pairs = [(e1.elems[i], e2.elems[j]) for i, j in enumerate(fwd)]
+            pairs += [(e1.elems[i], e2.elems[j]) for j, i in enumerate(bwd)]
+            yield from _unify_pairs(pairs, theta)
+
+
+def _unify_pairs(pairs: list[tuple[Term, Term]], theta: Subst) -> Iterator[Subst]:
+    if not pairs:
+        yield theta
+        return
+    (a, b), rest = pairs[0], pairs[1:]
+    for sigma in _unify(a, b, theta):
+        yield from _unify_pairs(rest, sigma)
+
+
+def unify_atoms(a1: Atom, a2: Atom, theta: Subst = EMPTY_SUBST) -> Iterator[Subst]:
+    """Enumerate unifiers of two atoms."""
+    if a1.pred != a2.pred or a1.arity != a2.arity:
+        return
+    seen: set[Subst] = set()
+    for sigma in _unify_seq(a1.args, a2.args, theta):
+        if sigma not in seen:
+            seen.add(sigma)
+            yield sigma
+
+
+def first_unifier(t1: Term, t2: Term, theta: Subst = EMPTY_SUBST) -> Optional[Subst]:
+    """The first unifier, or ``None``.  NB: set terms have no *most general*
+    unifier — callers needing completeness must use :func:`unify`."""
+    for sigma in unify(t1, t2, theta):
+        return sigma
+    return None
+
+
+# ---------------------------------------------------------------------------
+# One-way matching (pattern against ground data)
+# ---------------------------------------------------------------------------
+
+def match(pattern: Term, target: Term, theta: Subst = EMPTY_SUBST) -> Iterator[Subst]:
+    """Enumerate substitutions binding only pattern variables with
+    ``σ(pattern) == target``.  ``target`` must be ground."""
+    if not target.is_ground():
+        raise EvaluationError(f"match target {target} is not ground")
+    seen: set[Subst] = set()
+    for sigma in _match(pattern, target, theta):
+        if sigma not in seen:
+            seen.add(sigma)
+            yield sigma
+
+
+def _match(pattern: Term, target: Term, theta: Subst) -> Iterator[Subst]:
+    pattern = theta.apply(pattern)
+    if pattern == target:
+        yield theta
+        return
+    if isinstance(pattern, Var):
+        if sorts_compatible(pattern.sort, target.sort):
+            yield theta.bind(pattern, target)
+        return
+    if isinstance(pattern, App) and isinstance(target, App):
+        if pattern.fname != target.fname or len(pattern.args) != len(target.args):
+            return
+        yield from _match_seq(pattern.args, target.args, theta)
+        return
+    if isinstance(pattern, SetExpr) and isinstance(target, SetValue):
+        _check_width(max(len(pattern.elems), len(target.elems)))
+        targets = target.sorted_elems()
+        if not pattern.elems:
+            if not targets:
+                yield theta
+            return
+        if not targets:
+            return
+        for assignment in itertools.product(targets, repeat=len(pattern.elems)):
+            for sigma in _match_seq(pattern.elems, tuple(assignment), theta):
+                if sigma.apply(pattern) == target:
+                    yield sigma
+        return
+    return
+
+
+def _match_seq(
+    pats: tuple[Term, ...], targets: tuple[Term, ...], theta: Subst
+) -> Iterator[Subst]:
+    if not pats:
+        yield theta
+        return
+    for sigma in _match(pats[0], targets[0], theta):
+        yield from _match_seq(pats[1:], targets[1:], sigma)
+
+
+def match_atom(pattern: Atom, target: Atom, theta: Subst = EMPTY_SUBST) -> Iterator[Subst]:
+    """Enumerate matches of an atom pattern against a ground atom."""
+    if pattern.pred != target.pred or pattern.arity != target.arity:
+        return
+    seen: set[Subst] = set()
+    for sigma in _match_seq(pattern.args, target.args, theta):
+        if sigma not in seen:
+            seen.add(sigma)
+            yield sigma

@@ -1,0 +1,57 @@
+"""The LPS evaluation engine.
+
+* :mod:`repro.engine.database` — EDB facts and Python-value conversion;
+* :mod:`repro.engine.builtins` — evaluable predicates (arithmetic, ``neq``,
+  ``card``, plus the set builtins in :mod:`repro.engine.setops` that realise
+  the languages ``L + union`` and ``L + scons`` of Section 6);
+* :mod:`repro.engine.stratify` — stratification (Section 4.2, [ABW86]);
+* :mod:`repro.engine.evaluation` — bottom-up naive/semi-naive evaluation
+  under active-domain semantics, with LDL grouping;
+* :mod:`repro.engine.topdown` — the depth-bounded SLD prover with set
+  unification (Section 3.2's procedural semantics).
+"""
+
+from .builtins import (
+    DEFAULT_BUILTINS,
+    Builtin,
+    default_builtins,
+    is_builtin,
+)
+from .database import Database, from_term, to_term
+from .evaluation import (
+    ActiveDomain,
+    EvalOptions,
+    EvalReport,
+    Evaluator,
+    Model,
+    Solver,
+    SolverStats,
+    solve,
+)
+from .setops import set_builtins, with_set_builtins
+from .stratify import Stratification, is_stratified, stratify
+from .topdown import TopDownProver
+
+__all__ = [
+    "Builtin",
+    "DEFAULT_BUILTINS",
+    "default_builtins",
+    "is_builtin",
+    "Database",
+    "to_term",
+    "from_term",
+    "ActiveDomain",
+    "Solver",
+    "SolverStats",
+    "EvalOptions",
+    "EvalReport",
+    "Evaluator",
+    "Model",
+    "solve",
+    "set_builtins",
+    "with_set_builtins",
+    "Stratification",
+    "stratify",
+    "is_stratified",
+    "TopDownProver",
+]

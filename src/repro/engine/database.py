@@ -1,0 +1,103 @@
+"""EDB storage and Python-value conversion.
+
+A :class:`Database` is a bag of ground facts — the extensional database the
+paper's examples assume (``R(x, Y)`` in Example 4, ``parts``/``cost`` in
+Example 6).  Facts can be loaded from plain Python values; the conversion
+rules are:
+
+* ``str`` / ``int``       →  constant of sort ``a``
+* ``frozenset`` / ``set`` / iterables →  canonical :class:`SetValue`
+  (recursively, so nested frozensets give ELPS values)
+* :class:`~repro.core.terms.Term` —  passed through.
+
+The inverse mapping turns ``SetValue`` back into ``frozenset`` and constants
+back into their payloads, so query results read naturally in Python.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Mapping
+
+from ..core.atoms import Atom
+from ..core.clauses import LPSClause, fact
+from ..core.errors import EvaluationError
+from ..core.program import Program
+from ..core.terms import App, Const, SetValue, Term, setvalue
+
+
+def to_term(value: Any) -> Term:
+    """Convert a Python value to a ground term (see module docstring)."""
+    if isinstance(value, Term):
+        if not value.is_ground():
+            raise EvaluationError(f"database value {value} is not ground")
+        return value
+    if isinstance(value, bool):
+        return Const("true" if value else "false")
+    if isinstance(value, (str, int)):
+        return Const(value)
+    if isinstance(value, (set, frozenset, list, tuple)):
+        return setvalue(to_term(v) for v in value)
+    raise EvaluationError(f"cannot convert {value!r} to an LPS term")
+
+
+def from_term(term: Term) -> Any:
+    """Convert a ground term back to a Python value."""
+    if isinstance(term, Const):
+        return term.value
+    if isinstance(term, SetValue):
+        return frozenset(from_term(e) for e in term.elems)
+    if isinstance(term, App):
+        return (term.fname, *[from_term(a) for a in term.args])
+    raise EvaluationError(f"cannot convert {term} to a Python value")
+
+
+class Database:
+    """A mutable collection of ground facts, keyed by predicate."""
+
+    def __init__(self) -> None:
+        self._facts: dict[str, set[Atom]] = {}
+
+    def add(self, pred: str, *args: Any) -> Atom:
+        """Assert ``pred(args...)``, converting Python values to terms."""
+        a = Atom(pred, tuple(to_term(v) for v in args))
+        self._facts.setdefault(pred, set()).add(a)
+        return a
+
+    def add_atom(self, a: Atom) -> None:
+        if not a.is_ground():
+            raise EvaluationError(f"fact {a} is not ground")
+        self._facts.setdefault(a.pred, set()).add(a)
+
+    def extend(self, pred: str, rows: Iterable[tuple]) -> None:
+        """Bulk-load rows of Python values into one predicate."""
+        for row in rows:
+            self.add(pred, *row)
+
+    def facts(self) -> Iterator[Atom]:
+        for atoms in self._facts.values():
+            yield from atoms
+
+    def relation(self, pred: str) -> set[tuple]:
+        """The extension of a predicate as Python-value tuples."""
+        return {
+            tuple(from_term(t) for t in a.args)
+            for a in self._facts.get(pred, ())
+        }
+
+    def predicates(self) -> set[str]:
+        return set(self._facts)
+
+    def __len__(self) -> int:
+        return sum(len(s) for s in self._facts.values())
+
+    def as_program(self) -> Program:
+        """The database as a program of unit clauses."""
+        return Program(tuple(fact(a) for a in sorted(
+            self.facts(), key=str)))
+
+    @staticmethod
+    def from_mapping(data: Mapping[str, Iterable[tuple]]) -> "Database":
+        db = Database()
+        for pred, rows in data.items():
+            db.extend(pred, rows)
+        return db

@@ -1,0 +1,942 @@
+"""Bottom-up evaluation of LPS/ELPS programs under active-domain semantics.
+
+This is the runtime that makes the paper executable.  It computes the least
+(perfect, when negation/grouping is present) model of a program **relative
+to the active domain**: the set of ground a-terms and set values occurring
+in the program, the database, or anything derived so far.  For programs
+whose rules are range-restricted in the usual Datalog sense the result
+coincides with ``M_P`` restricted to the derivable atoms; for rules such as
+``subset(X, Y) :- (∀x ∈ X)(x ∈ Y)`` — whose full extension over the
+Herbrand universe is infinite — it yields the restriction of ``M_P`` to
+active-domain arguments, which is the standard finiteness discipline.
+
+Design highlights (see DESIGN.md):
+
+* **Formula solver.**  Rule bodies are solved by a generic backtracking
+  solver over body *formulas* (conjunction, disjunction, restricted
+  quantifiers, negation, built-ins).  A conjunct is scheduled when it is
+  *ready* (can check or generate); when nothing is ready the solver falls
+  back to enumerating an unbound variable over the active domain — that
+  fallback is what gives non-range-restricted rules their active-domain
+  meaning, and what realises the paper's vacuous-quantifier semantics
+  (``(∀x ∈ ∅)φ`` is true even when φ's other conjuncts are false).
+* **Stratified evaluation.**  Strata come from ``repro.engine.stratify``;
+  negative literals and LDL grouping clauses only see fully computed lower
+  strata, per Section 4.2 / Section 6 of the paper.
+* **Semi-naive option.**  Plain conjunctive rules are differentiated on
+  their recursive body atoms; rules with quantifiers or disjunction are
+  re-evaluated only when a predicate they depend on (or the active domain)
+  changed.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Mapping, Optional, Sequence
+
+from ..core.atoms import Atom, Literal
+from ..core.clauses import GroupingClause, LPSClause
+from ..core.errors import EvaluationError, SafetyError
+from ..core.formulas import (
+    AndF,
+    AtomF,
+    ExistsIn,
+    ForallIn,
+    Formula,
+    NotF,
+    OrF,
+    TrueF,
+    conj,
+    evaluate,
+)
+from ..core.program import Program
+from ..core.sorts import EQUALS, MEMBER, SORT_A, SORT_S, SORT_U
+from ..core.substitution import Subst
+from ..core.terms import (
+    App,
+    Const,
+    SetExpr,
+    SetValue,
+    Term,
+    Var,
+    order_key,
+    setvalue,
+    subterms,
+)
+from ..core.unify import match_atom, unify
+from ..semantics.interpretation import Interpretation
+from .builtins import DEFAULT_BUILTINS, Builtin
+from .database import Database, from_term
+from .stratify import Stratification, stratify
+
+#: Default bound on fixpoint rounds (a safety net, not a semantic limit).
+DEFAULT_MAX_ROUNDS = 100_000
+
+#: Default bound on the number of domain-fallback enumerations per rule
+#: application round; ``None`` disables the check.
+DEFAULT_FALLBACK_LIMIT = 5_000_000
+
+
+class ActiveDomain:
+    """The growing two-sorted active domain.
+
+    ``atoms`` are ground sort-a terms, ``sets`` ground set values.  The
+    empty set is always a member (Definition 4 makes ``∅`` semantically
+    load-bearing).  ``version`` increments whenever the carriers grow, so
+    the evaluator can detect domain growth cheaply.
+    """
+
+    def __init__(self) -> None:
+        self._atoms: dict[Term, None] = {}
+        self._sets: dict[SetValue, None] = {setvalue(()): None}
+        self.version = 0
+
+    def note_term(self, t: Term) -> None:
+        for s in subterms(t):
+            if isinstance(s, SetValue):
+                if s not in self._sets:
+                    self._sets[s] = None
+                    self.version += 1
+            elif isinstance(s, (Const, App)) and s.is_ground():
+                if s not in self._atoms:
+                    self._atoms[s] = None
+                    self.version += 1
+
+    def note_atom(self, a: Atom) -> None:
+        for t in a.args:
+            self.note_term(t)
+
+    def carrier(self, sort: str) -> list[Term]:
+        if sort == SORT_A:
+            return list(self._atoms)
+        if sort == SORT_S:
+            return list(self._sets)
+        if sort == SORT_U:
+            return list(self._atoms) + list(self._sets)
+        raise EvaluationError(f"unknown sort {sort!r}")
+
+    @property
+    def n_atoms(self) -> int:
+        return len(self._atoms)
+
+    @property
+    def n_sets(self) -> int:
+        return len(self._sets)
+
+
+@dataclass
+class SolverStats:
+    """Counters exposed for benchmarks and the safety tests."""
+
+    matches: int = 0
+    fallbacks: int = 0
+    fallback_bindings: int = 0
+    derivations: int = 0
+
+
+class Solver:
+    """Backtracking solver for body formulas against an interpretation.
+
+    ``solve(f, env)`` yields extensions of ``env`` that bind **all** free
+    variables of ``f`` and make ``f`` true.  Bindings created for variables
+    the formula does not constrain come from the active domain (see module
+    docstring).
+    """
+
+    def __init__(
+        self,
+        interp: Interpretation,
+        domain: ActiveDomain,
+        builtins: Mapping[str, Builtin] = DEFAULT_BUILTINS,
+        allow_fallback: bool = True,
+        fallback_limit: Optional[int] = DEFAULT_FALLBACK_LIMIT,
+        stats: Optional[SolverStats] = None,
+        delta: Optional[Mapping[str, frozenset[Atom]]] = None,
+    ) -> None:
+        self.interp = interp
+        self.domain = domain
+        self.builtins = builtins
+        self.allow_fallback = allow_fallback
+        self.fallback_limit = fallback_limit
+        self.stats = stats if stats is not None else SolverStats()
+        self.delta = delta
+        self._index_cache: dict[tuple[str, tuple[int, ...]], tuple[int, dict]] = {}
+
+    # -- public entry -----------------------------------------------------------
+
+    def solve(self, f: Formula, env: Subst = Subst()) -> Iterator[Subst]:
+        for out in self._solve(f, env):
+            yield from self._complete(f, out)
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _unbound(self, f: Formula, env: Subst) -> list[Var]:
+        return sorted(
+            (v for v in f.free_vars() if v not in env),
+            key=lambda v: (v.sort, v.name),
+        )
+
+    def _complete(self, f: Formula, env: Subst) -> Iterator[Subst]:
+        """Bind any remaining free variables of ``f`` from the domain."""
+        missing = self._unbound(f, env)
+        if not missing:
+            yield env
+            return
+        self._require_fallback(missing, f)
+        carriers = [self.domain.carrier(v.sort) for v in missing]
+        total = 1
+        for c in carriers:
+            total *= max(len(c), 1)
+        self._charge_fallback(total)
+        for combo in itertools.product(*carriers):
+            yield env.extend(dict(zip(missing, combo)))
+
+    def _require_fallback(self, variables: Sequence[Var], f: Formula) -> None:
+        if not self.allow_fallback:
+            raise SafetyError(
+                f"rule body {f} leaves variables {[str(v) for v in variables]} "
+                "unconstrained; active-domain enumeration is disabled "
+                "(allow_fallback=False)"
+            )
+        self.stats.fallbacks += 1
+
+    def _charge_fallback(self, n: int) -> None:
+        self.stats.fallback_bindings += n
+        if self.fallback_limit is not None and (
+            self.stats.fallback_bindings > self.fallback_limit
+        ):
+            raise EvaluationError(
+                "active-domain fallback exceeded fallback_limit="
+                f"{self.fallback_limit}; the program is likely not "
+                "range-restricted enough for this database"
+            )
+
+    # -- readiness / priority -----------------------------------------------------
+
+    def _priority(self, f: Formula, env: Subst) -> Optional[tuple]:
+        """Scheduling priority (lower = sooner); ``None`` = not ready."""
+        unbound = len(self._unbound(f, env))
+        if isinstance(f, TrueF):
+            return (0, 0)
+        if unbound == 0:
+            # Pure check; NotF is only evaluable at this point.
+            if isinstance(f, NotF):
+                return (0, 0)
+            return (0, 1)
+        if isinstance(f, NotF):
+            return None
+        if isinstance(f, AtomF):
+            a = f.atom
+            if a.pred == EQUALS:
+                l, r = (env.apply(t) for t in a.args)
+                if l.is_ground() or r.is_ground():
+                    return (1, unbound)
+                return None
+            if a.pred in self.builtins:
+                args = tuple(env.apply(t) for t in a.args)
+                if self.builtins[a.pred].ready(args):
+                    return (2, unbound)
+                return None
+            if a.pred == MEMBER:
+                container = env.apply(a.args[1])
+                if isinstance(container, SetValue):
+                    return (3, unbound)
+                return None
+            # Relational atom: prefer more bound arguments.
+            bound = sum(1 for t in a.args if env.apply(t).is_ground())
+            return (4, -bound, unbound)
+        if isinstance(f, ExistsIn):
+            if isinstance(env.apply(f.source), SetValue):
+                return (5, unbound)
+            return None
+        if isinstance(f, (AndF, OrF)):
+            return (6, unbound)
+        if isinstance(f, ForallIn):
+            if isinstance(env.apply(f.source), SetValue):
+                return (7, unbound)
+            return None
+        return None
+
+    # -- dispatch ---------------------------------------------------------------
+
+    def _solve(self, f: Formula, env: Subst) -> Iterator[Subst]:
+        if isinstance(f, TrueF):
+            yield env
+        elif isinstance(f, AtomF):
+            yield from self._solve_atom(f.atom, env)
+        elif isinstance(f, NotF):
+            yield from self._solve_not(f, env)
+        elif isinstance(f, AndF):
+            yield from self._solve_and(list(f.parts), env)
+        elif isinstance(f, OrF):
+            yield from self._solve_or(f, env)
+        elif isinstance(f, ExistsIn):
+            yield from self._solve_exists(f, env)
+        elif isinstance(f, ForallIn):
+            yield from self._solve_forall(f, env)
+        else:  # pragma: no cover - defensive
+            raise EvaluationError(f"cannot solve formula {f!r}")
+
+    # -- atoms ------------------------------------------------------------------
+
+    def _solve_atom(self, a: Atom, env: Subst) -> Iterator[Subst]:
+        if a.pred == EQUALS:
+            l, r = env.apply(a.args[0]), env.apply(a.args[1])
+            if not (l.is_ground() or r.is_ground()):
+                yield from self._solve_by_fallback(AtomF(a), env)
+                return
+            yield from unify(l, r, env)
+            return
+        if a.pred in self.builtins:
+            b = self.builtins[a.pred]
+            args = tuple(env.apply(t) for t in a.args)
+            if len(args) != b.arity:
+                raise EvaluationError(
+                    f"builtin {a.pred!r} used with arity {len(args)}"
+                )
+            if b.ready(args):
+                yield from b.solve(args, env)
+            else:
+                yield from self._solve_by_fallback(AtomF(a), env)
+            return
+        if a.pred == MEMBER:
+            elem, container = env.apply(a.args[0]), env.apply(a.args[1])
+            if isinstance(container, SetValue):
+                for e in container.sorted_elems():
+                    yield from unify(elem, e, env)
+            else:
+                yield from self._solve_by_fallback(AtomF(a), env)
+            return
+        yield from self._match_facts(a, env)
+
+    def _match_facts(self, a: Atom, env: Subst) -> Iterator[Subst]:
+        pattern = a.substitute(env)
+        facts: Iterable[Atom]
+        if self.delta is not None and a.pred in self.delta:
+            facts = self.delta[a.pred]
+        else:
+            facts = self._candidates(pattern)
+        for f in facts:
+            self.stats.matches += 1
+            yield from match_atom(pattern, f, env)
+
+    def _candidates(self, pattern: Atom) -> Iterable[Atom]:
+        """Fact candidates via a lazily built hash index on bound positions."""
+        facts = self.interp.by_pred(pattern.pred)
+        bound_pos = tuple(
+            i for i, t in enumerate(pattern.args)
+            if t.is_ground() and not isinstance(t, SetExpr)
+        )
+        if not bound_pos or len(facts) < 16:
+            return facts
+        cache_key = (pattern.pred, bound_pos)
+        version = len(facts)
+        cached = self._index_cache.get(cache_key)
+        if cached is None or cached[0] != version:
+            index: dict[tuple, list[Atom]] = {}
+            for f in facts:
+                key = tuple(f.args[i] for i in bound_pos)
+                index.setdefault(key, []).append(f)
+            self._index_cache[cache_key] = (version, index)
+        else:
+            index = cached[1]
+        key = tuple(pattern.args[i] for i in bound_pos)
+        return index.get(key, ())
+
+    def _solve_by_fallback(self, f: Formula, env: Subst) -> Iterator[Subst]:
+        """Enumerate one unbound variable and retry (used when stuck)."""
+        unbound = self._unbound(f, env)
+        if not unbound:
+            return
+        self._require_fallback(unbound[:1], f)
+        v = min(unbound, key=lambda u: len(self.domain.carrier(u.sort)))
+        carrier = self.domain.carrier(v.sort)
+        self._charge_fallback(len(carrier))
+        for value in carrier:
+            yield from self._solve(f, env.bind(v, value))
+
+    # -- compound formulas ---------------------------------------------------------
+
+    def _solve_not(self, f: NotF, env: Subst) -> Iterator[Subst]:
+        if self._unbound(f, env):
+            yield from self._solve_by_fallback(f, env)
+            return
+        if not self._holds_closed(f.sub, env):
+            yield env
+
+    def _holds_closed(self, f: Formula, env: Subst) -> bool:
+        closed = f.substitute(env)
+        return evaluate(closed, self._oracle)
+
+    def _oracle(self, a: Atom) -> bool:
+        if a.pred in self.builtins:
+            b = self.builtins[a.pred]
+            return next(iter(b.solve(a.args, Subst())), None) is not None
+        return self.interp.holds(a)
+
+    def _solve_and(self, parts: list[Formula], env: Subst) -> Iterator[Subst]:
+        if not parts:
+            yield env
+            return
+        best_i: Optional[int] = None
+        best_p: Optional[tuple] = None
+        for i, p in enumerate(parts):
+            pr = self._priority(p, env)
+            if pr is not None and (best_p is None or pr < best_p):
+                best_i, best_p = i, pr
+        if best_i is None:
+            # Nothing ready: bind one variable from the domain and retry.
+            all_vars: set[Var] = set()
+            for p in parts:
+                all_vars |= {v for v in p.free_vars() if v not in env}
+            if not all_vars:
+                # All parts ground yet none "ready" — cannot happen, since
+                # ground formulas always have priority 0.
+                raise EvaluationError("scheduler stuck on ground conjunction")
+            self._require_fallback(sorted(all_vars, key=str)[:1], AndF(tuple(parts)))
+            v = min(all_vars, key=lambda u: (len(self.domain.carrier(u.sort)), u.name))
+            carrier = self.domain.carrier(v.sort)
+            self._charge_fallback(len(carrier))
+            for value in carrier:
+                yield from self._solve_and(parts, env.bind(v, value))
+            return
+        chosen = parts[best_i]
+        rest = parts[:best_i] + parts[best_i + 1:]
+        for env2 in self._solve(chosen, env):
+            yield from self._solve_and(rest, env2)
+
+    def _solve_or(self, f: OrF, env: Subst) -> Iterator[Subst]:
+        seen: set[Subst] = set()
+        for part in f.parts:
+            for env2 in self._solve(part, env):
+                for env3 in self._complete(f, env2):
+                    key = env3.restrict(f.free_vars())
+                    if key not in seen:
+                        seen.add(key)
+                        yield env3
+
+    def _solve_exists(self, f: ExistsIn, env: Subst) -> Iterator[Subst]:
+        source = env.apply(f.source)
+        if not isinstance(source, SetValue):
+            yield from self._solve_by_fallback(f, env)
+            return
+        seen: set[Subst] = set()
+        for e in source.sorted_elems():
+            body = f.body.substitute(Subst({f.var: e}))
+            for env2 in self._solve(body, env):
+                key = env2.restrict(f.free_vars())
+                if key not in seen:
+                    seen.add(key)
+                    yield env2
+
+    def _solve_forall(self, f: ForallIn, env: Subst) -> Iterator[Subst]:
+        source = env.apply(f.source)
+        if not isinstance(source, SetValue):
+            yield from self._solve_by_fallback(f, env)
+            return
+        expansion = conj(*(
+            f.body.substitute(Subst({f.var: e})) for e in source.sorted_elems()
+        ))
+        yield from self._solve(expansion, env)
+
+
+# ---------------------------------------------------------------------------
+# The evaluator
+# ---------------------------------------------------------------------------
+
+@dataclass
+class EvalOptions:
+    """Evaluator knobs.
+
+    ``semi_naive``      — differentiate plain conjunctive rules on deltas.
+    ``allow_fallback``  — permit active-domain enumeration for unconstrained
+                          variables (the paper's semantics needs it; turn off
+                          to enforce Datalog-style range restriction).
+    ``fallback_limit``  — abort if fallback enumerations exceed this many
+                          candidate bindings (per run).
+    ``max_rounds``      — abort runaway fixpoints.
+    """
+
+    semi_naive: bool = True
+    allow_fallback: bool = True
+    fallback_limit: Optional[int] = DEFAULT_FALLBACK_LIMIT
+    max_rounds: int = DEFAULT_MAX_ROUNDS
+    track_provenance: bool = False
+
+
+@dataclass
+class EvalReport:
+    """Execution statistics for benchmarks and EXPERIMENTS.md."""
+
+    rounds: int = 0
+    derived: int = 0
+    strata: int = 0
+    rule_applications: int = 0
+    stats: SolverStats = field(default_factory=SolverStats)
+
+
+class Model:
+    """The computed (perfect) model plus query helpers."""
+
+    def __init__(
+        self,
+        interp: Interpretation,
+        report: EvalReport,
+        provenance=None,
+    ) -> None:
+        self._interp = interp
+        self.report = report
+        self._provenance = provenance
+
+    def explain(self, a: Atom, max_depth: int = 50):
+        """Derivation tree for a ground atom (requires
+        ``EvalOptions(track_provenance=True)``)."""
+        if self._provenance is None:
+            raise EvaluationError(
+                "provenance was not tracked; evaluate with "
+                "EvalOptions(track_provenance=True)"
+            )
+        if not self.holds(a):
+            raise EvaluationError(f"{a} is not in the model")
+        return self._provenance.explain(a, max_depth=max_depth)
+
+    def explain_str(self, text: str, max_depth: int = 50) -> str:
+        """Parse a ground atom and render its derivation tree."""
+        from ..lang import parse_atom
+
+        return self.explain(parse_atom(text), max_depth=max_depth).pretty()
+
+    @property
+    def interpretation(self) -> Interpretation:
+        return self._interp
+
+    def holds(self, a: Atom) -> bool:
+        """Whether a ground atom is in the model (specials structurally)."""
+        from ..core.formulas import evaluate_ground_atom
+
+        return evaluate_ground_atom(a, self._interp.holds)
+
+    def holds_str(self, text: str) -> bool:
+        """Parse and test a ground atom, e.g. ``model.holds_str("p(a, {b})")``."""
+        from ..lang import parse_atom
+
+        return self.holds(parse_atom(text))
+
+    def query(self, pattern: Atom) -> Iterator[Subst]:
+        """All substitutions matching a pattern atom against the model."""
+        for f in sorted(self._interp.by_pred(pattern.pred), key=str):
+            yield from match_atom(pattern, f)
+
+    def query_str(self, text: str) -> list[dict[str, Any]]:
+        """Parse a pattern and return bindings as Python values."""
+        from ..lang import parse_atom
+
+        pattern = parse_atom(text)
+        out = []
+        for theta in self.query(pattern):
+            out.append({v.name: from_term(t) for v, t in theta.items()})
+        return out
+
+    def relation(self, pred: str) -> set[tuple]:
+        """A predicate's extension as Python-value tuples."""
+        return {
+            tuple(from_term(t) for t in a.args)
+            for a in self._interp.by_pred(pred)
+        }
+
+    def __len__(self) -> int:
+        return len(self._interp)
+
+    def __contains__(self, a: Atom) -> bool:
+        return self.holds(a)
+
+    def pretty(self) -> str:
+        return self._interp.pretty()
+
+
+class Evaluator:
+    """Stratified bottom-up evaluator (naive or semi-naive)."""
+
+    def __init__(
+        self,
+        program: Program,
+        database: Optional[Database] = None,
+        builtins: Mapping[str, Builtin] = DEFAULT_BUILTINS,
+        options: Optional[EvalOptions] = None,
+    ) -> None:
+        self.program = program
+        self.database = database
+        self.builtins = builtins
+        self.options = options or EvalOptions()
+        program.validate()
+        self._check_builtin_heads()
+        self.stratification: Stratification = stratify(
+            program, ignore=set(builtins)
+        )
+
+    def _check_builtin_heads(self) -> None:
+        for c in self.program.clauses:
+            head_pred = c.head.pred if isinstance(c, LPSClause) else c.pred
+            if head_pred in self.builtins:
+                raise EvaluationError(
+                    f"clause head uses builtin predicate {head_pred!r}"
+                )
+
+    # -- main loop ---------------------------------------------------------------
+
+    def run(self) -> Model:
+        """Evaluate to the perfect model over the (stabilised) active domain.
+
+        Stratified evaluation assumes the domain is fixed, but derived set
+        values (grouping results, head constructors, decomposition
+        builtins) can grow the active domain *after* a lower stratum has
+        already closed — and lower-stratum predicates are monotone in the
+        domain.  We therefore run whole stratified passes until the domain
+        stops growing, resetting the IDB between passes (negative
+        conclusions drawn over the smaller domain may not survive).
+        """
+        domain = ActiveDomain()
+        report = EvalReport(stats=SolverStats())
+        for t in self.program.all_terms():
+            domain.note_term(t)
+        if self.database is not None:
+            for a in self.database.facts():
+                if a.pred in self.builtins:
+                    raise EvaluationError(
+                        f"database fact uses builtin predicate {a.pred!r}"
+                    )
+                domain.note_atom(a)
+
+        report.strata = self.stratification.depth
+        passes = 0
+        while True:
+            passes += 1
+            if passes > self.options.max_rounds:
+                raise EvaluationError(
+                    "active domain kept growing; the program has no "
+                    "finite perfect model over its own derivations"
+                )
+            version_before = domain.version
+            interp = Interpretation()
+            provenance = None
+            if self.options.track_provenance:
+                from .provenance import ProvenanceStore
+
+                provenance = ProvenanceStore()
+            if self.database is not None:
+                for a in self.database.facts():
+                    interp.add(a)
+                    if provenance is not None:
+                        provenance.note_given(a)
+            for stratum in self.stratification.strata:
+                grouping = [c for c in stratum if isinstance(c, GroupingClause)]
+                normal = [c for c in stratum if isinstance(c, LPSClause)]
+                for g in grouping:
+                    self._apply_grouping(g, interp, domain, report, provenance)
+                self._fixpoint(normal, interp, domain, report, provenance)
+            if domain.version == version_before:
+                return Model(interp, report, provenance)
+
+    # -- stratum fixpoint -----------------------------------------------------------
+
+    def _fixpoint(
+        self,
+        rules: Sequence[LPSClause],
+        interp: Interpretation,
+        domain: ActiveDomain,
+        report: EvalReport,
+        provenance=None,
+    ) -> None:
+        # Non-ground unit clauses (e.g. the ∅ base cases produced by the
+        # Theorem 10 translation) are rules over the active domain, not
+        # facts.
+        facts = [c for c in rules if c.is_fact and c.head.is_ground()]
+        proper = [c for c in rules if not (c.is_fact and c.head.is_ground())]
+        for c in facts:
+            if interp.add(c.head):
+                domain.note_atom(c.head)
+                report.derived += 1
+            if provenance is not None:
+                provenance.note_given(c.head)
+
+        if not proper:
+            return
+
+        compiled = [_CompiledRule(c, self.builtins) for c in proper]
+        recursive_preds = {c.head.pred for c in proper}
+        changed_preds: Optional[set[str]] = None  # None = first round
+        deltas: dict[str, frozenset[Atom]] = {}
+        round_no = 0
+        prev_version = -1
+
+        while True:
+            round_no += 1
+            report.rounds += 1
+            if round_no > self.options.max_rounds:
+                raise EvaluationError(
+                    f"stratum did not converge within {self.options.max_rounds} rounds"
+                )
+            domain_grew = domain.version != prev_version
+            prev_version = domain.version
+            new_atoms: set[Atom] = set()
+            solver = Solver(
+                interp,
+                domain,
+                self.builtins,
+                allow_fallback=self.options.allow_fallback,
+                fallback_limit=self.options.fallback_limit,
+                stats=report.stats,
+            )
+            for rule in compiled:
+                if not rule.affected(changed_preds, domain_grew):
+                    continue
+                report.rule_applications += 1
+                use_delta = (
+                    self.options.semi_naive
+                    and provenance is None
+                    and changed_preds is not None
+                    and rule.delta_capable
+                )
+                if use_delta:
+                    derived = rule.derive_delta(
+                        solver, deltas, recursive_preds
+                    )
+                    for head in derived:
+                        if head not in interp and head not in new_atoms:
+                            new_atoms.add(head)
+                elif provenance is not None:
+                    for head, env in rule.derive_with_env(solver):
+                        if head not in interp and head not in new_atoms:
+                            new_atoms.add(head)
+                        provenance.note_derived(
+                            head, rule.clause, env,
+                            rule.ground_premises(env, self.builtins),
+                        )
+                else:
+                    derived = rule.derive(solver)
+                    for head in derived:
+                        if head not in interp and head not in new_atoms:
+                            new_atoms.add(head)
+            if not new_atoms:
+                break
+            delta_map: dict[str, set[Atom]] = {}
+            for a in new_atoms:
+                interp.add(a)
+                domain.note_atom(a)
+                delta_map.setdefault(a.pred, set()).add(a)
+                report.derived += 1
+            deltas = {p: frozenset(s) for p, s in delta_map.items()}
+            changed_preds = set(delta_map)
+
+    # -- grouping ---------------------------------------------------------------
+
+    def _apply_grouping(
+        self,
+        g: GroupingClause,
+        interp: Interpretation,
+        domain: ActiveDomain,
+        report: EvalReport,
+        provenance=None,
+    ) -> None:
+        """Evaluate one LDL grouping clause (Definition 14).
+
+        The grouped position receives the set of all group-variable values
+        for which the body holds, per binding of the other head variables.
+        Stratification guarantees the body's predicates are fully computed.
+        """
+        body = conj(*(
+            AtomF(l.atom) if l.positive else NotF(AtomF(l.atom))
+            for l in g.body
+        ))
+        solver = Solver(
+            interp,
+            domain,
+            self.builtins,
+            allow_fallback=self.options.allow_fallback,
+            fallback_limit=self.options.fallback_limit,
+            stats=report.stats,
+        )
+        groups: dict[tuple[Term, ...], set[Term]] = {}
+        premises: dict[tuple[Term, ...], list[Atom]] = {}
+        for env in solver.solve(body):
+            key = tuple(env.apply(t) for t in g.head_args)
+            gval = env.apply(g.group_var)
+            if not gval.is_ground():
+                raise SafetyError(
+                    f"grouping variable {g.group_var} not bound by body of {g}"
+                )
+            groups.setdefault(key, set()).add(gval)
+            if provenance is not None:
+                premises.setdefault(key, []).extend(
+                    l.atom.substitute(env)
+                    for l in g.body
+                    if l.positive and not l.atom.is_special()
+                    and l.atom.pred not in self.builtins
+                )
+        for key, values in groups.items():
+            args = list(key)
+            args.insert(g.group_pos, setvalue(values))
+            head = Atom(g.pred, tuple(args))
+            if interp.add(head):
+                domain.note_atom(head)
+                report.derived += 1
+            if provenance is not None:
+                provenance.note_grouped(
+                    head, g, tuple(dict.fromkeys(premises.get(key, ())))
+                )
+
+
+class _CompiledRule:
+    """Per-rule compilation: body formula, dependencies, delta capability."""
+
+    def __init__(self, clause: LPSClause, builtins: Mapping[str, Builtin]) -> None:
+        self.clause = clause
+        self.head = clause.head
+        self.body = clause.body_formula()
+        self.deps = {
+            a.pred
+            for l in clause.body
+            for a in (l.atom,)
+            if not a.is_special() and a.pred not in builtins
+        }
+        # Delta capability: a plain conjunction of positive literals whose
+        # relational atoms can be individually restricted to the delta.
+        self.delta_capable = (
+            not clause.quantifiers
+            and all(l.positive for l in clause.body)
+        )
+        self.relational = [
+            l.atom
+            for l in clause.body
+            if l.positive and not l.atom.is_special() and l.atom.pred not in builtins
+        ]
+        # A rule is domain-sensitive if its evaluation can consult the
+        # active domain: quantifiers (vacuous branch), negation, or head/body
+        # variables that no positive body atom constrains.
+        constrained: set[Var] = set()
+        for a in self.relational:
+            constrained |= a.free_vars()
+        self.domain_sensitive = (
+            bool(clause.quantifiers)
+            or any(not l.positive for l in clause.body)
+            or bool(clause.free_vars() - constrained)
+        )
+
+    def affected(self, changed: Optional[set[str]], domain_grew: bool) -> bool:
+        if changed is None:
+            return True
+        if self.deps & changed:
+            return True
+        return self.domain_sensitive and domain_grew
+
+    def derive(self, solver: Solver) -> Iterator[Atom]:
+        for head, _env in self.derive_with_env(solver):
+            yield head
+
+    def derive_with_env(self, solver: Solver) -> Iterator[tuple[Atom, Subst]]:
+        head_vars = self.head.free_vars()
+        for env in solver.solve(self.body):
+            missing = [v for v in head_vars if v not in env]
+            if missing:
+                # Head variables absent from the body range over the domain.
+                solver._require_fallback(missing, self.body)
+                carriers = [solver.domain.carrier(v.sort) for v in missing]
+                total = 1
+                for c in carriers:
+                    total *= max(len(c), 1)
+                solver._charge_fallback(total)
+                for combo in itertools.product(*carriers):
+                    env2 = env.extend(dict(zip(missing, combo)))
+                    yield self.head.substitute(env2), env2
+            else:
+                solver.stats.derivations += 1
+                yield self.head.substitute(env), env
+
+    def ground_premises(
+        self, env: Subst, builtins: Mapping[str, Builtin]
+    ) -> tuple[Atom, ...]:
+        """The ground positive IDB/EDB body atoms of this application —
+        quantifiers unfolded per Lemma 4 (empty ranges give no premises)."""
+        free = self.clause.free_vars()
+        theta = env.restrict(free)
+        try:
+            ground = self.clause.ground_instances(theta)
+        except Exception:
+            return ()
+        return tuple(dict.fromkeys(
+            l.atom
+            for l in ground.body
+            if l.positive and not l.atom.is_special()
+            and l.atom.pred not in builtins
+        ))
+
+    def derive_delta(
+        self,
+        solver: Solver,
+        deltas: Mapping[str, frozenset[Atom]],
+        recursive_preds: set[str],
+    ) -> Iterator[Atom]:
+        """Semi-naive differentiation: one recursive atom pinned to its delta."""
+        pinned = [
+            i for i, a in enumerate(self.relational)
+            if a.pred in recursive_preds and a.pred in deltas
+        ]
+        if not pinned:
+            return
+        seen: set[Atom] = set()
+        for i in pinned:
+            target = self.relational[i]
+            delta_solver = Solver(
+                solver.interp,
+                solver.domain,
+                solver.builtins,
+                allow_fallback=solver.allow_fallback,
+                fallback_limit=solver.fallback_limit,
+                stats=solver.stats,
+            )
+            # Seed the solver with each delta fact for the pinned conjunct,
+            # then solve the remaining body under that binding.
+            rest = conj(*(
+                AtomF(a) for j, a in enumerate(self.relational) if j != i
+            ), *(
+                AtomF(l.atom)
+                for l in self.clause.body
+                if l.positive and (l.atom.is_special() or l.atom.pred in solver.builtins)
+            ))
+            for f in deltas[target.pred]:
+                for env0 in match_atom(target, f):
+                    for env in delta_solver.solve(rest, env0):
+                        head_vars = self.head.free_vars()
+                        if all(v in env for v in head_vars):
+                            head = self.head.substitute(env)
+                            if head not in seen:
+                                seen.add(head)
+                                solver.stats.derivations += 1
+                                yield head
+                        else:
+                            for h in self._complete_head(delta_solver, env):
+                                if h not in seen:
+                                    seen.add(h)
+                                    yield h
+
+    def _complete_head(self, solver: Solver, env: Subst) -> Iterator[Atom]:
+        missing = [v for v in self.head.free_vars() if v not in env]
+        solver._require_fallback(missing, self.body)
+        carriers = [solver.domain.carrier(v.sort) for v in missing]
+        total = 1
+        for c in carriers:
+            total *= max(len(c), 1)
+        solver._charge_fallback(total)
+        for combo in itertools.product(*carriers):
+            yield self.head.substitute(env.extend(dict(zip(missing, combo))))
+
+
+def solve(
+    program: Program,
+    database: Optional[Database] = None,
+    **options: Any,
+) -> Model:
+    """One-call evaluation: build an :class:`Evaluator` and run it."""
+    opts = EvalOptions(**options) if options else EvalOptions()
+    return Evaluator(program, database, options=opts).run()

@@ -1,0 +1,135 @@
+"""Why-provenance: derivation trees for atoms in the computed model.
+
+With ``EvalOptions(track_provenance=True)`` the evaluator records, for every
+derived atom, the clause and ground substitution that first produced it.
+:func:`explain` then reconstructs a derivation tree: the atom, the clause
+instance (with Lemma-4 quantifier unfolding), and recursively the proofs of
+the ground body atoms.  Built-in and special atoms are leaves ("holds
+structurally"); EDB facts are leaves ("given").
+
+This is classical why-provenance for Datalog, extended to LPS's quantified
+clauses: a quantified rule's children are the instances over the elements
+of the (ground) range sets, so an application with an empty range shows up
+— honestly — as a derivation step with zero premises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from ..core.atoms import Atom
+from ..core.clauses import GroupingClause, LPSClause
+from ..core.substitution import Subst
+
+#: How an atom entered the model.
+GIVEN = "given"          # EDB fact or ground fact clause
+DERIVED = "derived"      # via an LPS clause
+GROUPED = "grouped"      # via an LDL grouping clause
+STRUCTURAL = "structural"  # special/builtin atom, true by Definition 3
+
+
+@dataclass(frozen=True)
+class ProvenanceEntry:
+    """How one atom was first derived."""
+
+    kind: str
+    clause: Optional[object] = None      # LPSClause | GroupingClause
+    theta: Optional[Subst] = None        # grounding substitution
+    premises: tuple[Atom, ...] = ()      # ground positive body atoms
+
+
+@dataclass
+class DerivationNode:
+    """A node of a derivation tree."""
+
+    atom: Atom
+    kind: str
+    clause: Optional[object] = None
+    children: list["DerivationNode"] = field(default_factory=list)
+
+    def pretty(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        label = {
+            GIVEN: "(given)",
+            STRUCTURAL: "(structural)",
+            GROUPED: "(grouping)",
+            DERIVED: "",
+        }[self.kind]
+        rule = ""
+        if self.kind == DERIVED and self.clause is not None:
+            rule = f"   [{self.clause}]"
+        elif self.kind == GROUPED and self.clause is not None:
+            rule = f"   [{self.clause}]"
+        lines = [f"{pad}{self.atom} {label}{rule}".rstrip()]
+        for child in self.children:
+            lines.append(child.pretty(indent + 1))
+        return "\n".join(lines)
+
+    def size(self) -> int:
+        return 1 + sum(c.size() for c in self.children)
+
+    def depth(self) -> int:
+        return 1 + max((c.depth() for c in self.children), default=0)
+
+
+class ProvenanceStore:
+    """First-derivation records, keyed by atom."""
+
+    def __init__(self) -> None:
+        self._entries: dict[Atom, ProvenanceEntry] = {}
+
+    def note_given(self, atom: Atom) -> None:
+        self._entries.setdefault(atom, ProvenanceEntry(GIVEN))
+
+    def note_derived(
+        self,
+        atom: Atom,
+        clause: LPSClause,
+        theta: Subst,
+        premises: tuple[Atom, ...],
+    ) -> None:
+        self._entries.setdefault(
+            atom, ProvenanceEntry(DERIVED, clause, theta, premises)
+        )
+
+    def note_grouped(
+        self, atom: Atom, clause: GroupingClause, premises: tuple[Atom, ...]
+    ) -> None:
+        self._entries.setdefault(
+            atom, ProvenanceEntry(GROUPED, clause, None, premises)
+        )
+
+    def entry(self, atom: Atom) -> Optional[ProvenanceEntry]:
+        return self._entries.get(atom)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def explain(self, atom: Atom, max_depth: int = 50) -> DerivationNode:
+        """Build the derivation tree for a ground atom.
+
+        Special and builtin atoms explain themselves structurally; atoms
+        without a record raise ``KeyError`` (they are not in the model)."""
+        return self._explain(atom, max_depth, frozenset())
+
+    def _explain(
+        self, atom: Atom, fuel: int, on_path: frozenset[Atom]
+    ) -> DerivationNode:
+        if atom.is_special():
+            return DerivationNode(atom, STRUCTURAL)
+        entry = self._entries.get(atom)
+        if entry is None:
+            return DerivationNode(atom, STRUCTURAL)
+        if entry.kind == GIVEN:
+            return DerivationNode(atom, GIVEN)
+        node_kind = entry.kind
+        node = DerivationNode(atom, node_kind, clause=entry.clause)
+        if fuel <= 0 or atom in on_path:
+            return node  # truncate (cycle-safe: first-derivations are acyclic,
+            # but grouping premises can be large)
+        for premise in entry.premises:
+            node.children.append(
+                self._explain(premise, fuel - 1, on_path | {atom})
+            )
+        return node

@@ -1,0 +1,253 @@
+"""Set-operation builtins: the languages ``L + union`` and ``L + scons``.
+
+Definition 15 of the paper extends a logic ``L`` with a predicate
+``union(x, y, z)`` interpreted as ``z = x ∪ y``, or with ``scons(x, y, z)``
+interpreted as ``z = {x} ∪ y``; Theorem 10 proves ELPS ≡ Horn + union ≡
+Horn + scons.  To make those Horn languages *executable* this module
+provides ``union`` and ``scons`` as evaluable predicates with full
+(finitely enumerable) binding modes:
+
+``union(X, Y, Z)``:
+    * X, Y bound        → Z = X ∪ Y (one answer);
+    * Z bound           → all decompositions Z = X ∪ Y, i.e. pairs of
+      subsets covering Z — there are 3^|Z| of them (each element goes to
+      X only, Y only, or both), capped by :data:`MAX_DECOMP_WIDTH`;
+    * X, Z bound        → all Y with X ∪ Y = Z (requires X ⊆ Z; Y ranges
+      over Z∖X ∪ (any subset of X)); symmetric for Y, Z bound.
+
+``scons(x, Y, Z)``:
+    * x, Y bound        → Z = {x} ∪ Y;
+    * Z bound           → for each x ∈ Z, Y ∈ {Z∖{x}, Z};
+    * x, Z bound        → Y ∈ {Z∖{x}, Z} if x ∈ Z.
+
+``choose_min(x, Y, Z)``:
+    A *deterministic* scons-inverse: for bound Z ≠ ∅ it yields exactly
+    ``x = min(Z)``, ``Y = Z∖{x}`` (by the canonical term order).  Not part
+    of the paper's language; it gives the Example 5/6 recursions a
+    linear-size derivation strategy (the paper's disjoint-union recursion
+    admits any decomposition; ``choose_min`` fixes one).
+
+``setdiff(X, Y, Z)`` / ``intersect(X, Y, Z)``:
+    Convenience operations with all-but-output bound.
+
+``subset_enum(X, Y)``:
+    With Y bound, enumerates every subset X of Y (2^|Y|, capped).  Used by
+    the Section 4.2 set-construction benchmarks.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Sequence
+
+from ..core.errors import EvaluationError
+from ..core.substitution import Subst
+from ..core.terms import SetValue, Term, order_key, setvalue
+from ..core.unify import unify
+from .builtins import Builtin, default_builtins
+
+#: Cap on |Z| for decomposition modes (3^|Z| / 2^|Z| answers).
+MAX_DECOMP_WIDTH = 16
+
+
+def _as_set(t: Term) -> SetValue | None:
+    return t if isinstance(t, SetValue) else None
+
+
+def _check_decomp(n: int) -> None:
+    if n > MAX_DECOMP_WIDTH:
+        raise EvaluationError(
+            f"set decomposition over a set of {n} elements exceeds "
+            f"MAX_DECOMP_WIDTH={MAX_DECOMP_WIDTH}"
+        )
+
+
+@dataclass
+class UnionBuiltin(Builtin):
+    """``union(X, Y, Z)`` ⇔ Z = X ∪ Y (Definition 15(1))."""
+
+    name: str = "union"
+    arity: int = 3
+
+    def ready(self, args: Sequence[Term]) -> bool:
+        x, y, z = args
+        if x.is_ground() and y.is_ground():
+            return isinstance(x, SetValue) or isinstance(y, SetValue) or z.is_ground()
+        if isinstance(z, SetValue):
+            return True
+        return False
+
+    def solve(self, args: Sequence[Term], env: Subst) -> Iterator[Subst]:
+        x, y, z = args
+        sx, sy, sz = _as_set(x), _as_set(y), _as_set(z)
+        if sx is not None and sy is not None:
+            result = setvalue(tuple(sx.elems) + tuple(sy.elems))
+            yield from unify(z, result, env)
+            return
+        if sz is not None and sx is not None:
+            # Y with X ∪ Y = Z: need X ⊆ Z; then Y = (Z∖X) ∪ S for S ⊆ X.
+            if not set(sx.elems) <= set(sz.elems):
+                return
+            base = tuple(e for e in sz.elems if e not in sx.elems)
+            _check_decomp(len(sx.elems))
+            for k in range(len(sx.elems) + 1):
+                for extra in itertools.combinations(sorted(sx.elems, key=order_key), k):
+                    yield from unify(y, setvalue(base + extra), env)
+            return
+        if sz is not None and sy is not None:
+            if not set(sy.elems) <= set(sz.elems):
+                return
+            base = tuple(e for e in sz.elems if e not in sy.elems)
+            _check_decomp(len(sy.elems))
+            for k in range(len(sy.elems) + 1):
+                for extra in itertools.combinations(sorted(sy.elems, key=order_key), k):
+                    yield from unify(x, setvalue(base + extra), env)
+            return
+        if sz is not None:
+            # Full decomposition: each element goes to X, Y, or both.
+            elems = sz.sorted_elems()
+            _check_decomp(len(elems))
+            for assignment in itertools.product((0, 1, 2), repeat=len(elems)):
+                xs = [e for e, a in zip(elems, assignment) if a in (0, 2)]
+                ys = [e for e, a in zip(elems, assignment) if a in (1, 2)]
+                for env2 in unify(x, setvalue(xs), env):
+                    yield from unify(y, setvalue(ys), env2)
+            return
+
+
+@dataclass
+class SconsBuiltin(Builtin):
+    """``scons(x, Y, Z)`` ⇔ Z = {x} ∪ Y (Definition 15(2))."""
+
+    name: str = "scons"
+    arity: int = 3
+
+    def ready(self, args: Sequence[Term]) -> bool:
+        x, y, z = args
+        if x.is_ground() and isinstance(y, SetValue):
+            return True
+        return isinstance(z, SetValue)
+
+    def solve(self, args: Sequence[Term], env: Subst) -> Iterator[Subst]:
+        x, y, z = args
+        sy, sz = _as_set(y), _as_set(z)
+        if x.is_ground() and sy is not None:
+            result = setvalue(tuple(sy.elems) + (x,))
+            yield from unify(z, result, env)
+            return
+        if sz is not None:
+            if x.is_ground():
+                if x not in sz:
+                    return
+                candidates_x = [x]
+            else:
+                candidates_x = sz.sorted_elems()
+            for xe in candidates_x:
+                rest = setvalue(e for e in sz.elems if e != xe)
+                for env2 in unify(x, xe, env):
+                    for cand_y in (rest, sz):
+                        yield from unify(y, cand_y, env2)
+            return
+
+
+@dataclass
+class ChooseMin(Builtin):
+    """Deterministic decomposition: x = min(Z), Y = Z ∖ {x}, for Z ≠ ∅."""
+
+    name: str = "choose_min"
+    arity: int = 3
+
+    def ready(self, args: Sequence[Term]) -> bool:
+        return isinstance(args[2], SetValue)
+
+    def solve(self, args: Sequence[Term], env: Subst) -> Iterator[Subst]:
+        x, y, z = args
+        sz = _as_set(z)
+        if sz is None or not sz.elems:
+            return
+        first = min(sz.elems, key=order_key)
+        rest = setvalue(e for e in sz.elems if e != first)
+        for env2 in unify(x, first, env):
+            yield from unify(y, rest, env2)
+
+
+@dataclass
+class SetDiff(Builtin):
+    """``setdiff(X, Y, Z)`` ⇔ Z = X ∖ Y."""
+
+    name: str = "setdiff"
+    arity: int = 3
+
+    def ready(self, args: Sequence[Term]) -> bool:
+        return isinstance(args[0], SetValue) and isinstance(args[1], SetValue)
+
+    def solve(self, args: Sequence[Term], env: Subst) -> Iterator[Subst]:
+        x, y, z = args
+        sx, sy = _as_set(x), _as_set(y)
+        if sx is None or sy is None:
+            return
+        yield from unify(z, setvalue(e for e in sx.elems if e not in sy.elems), env)
+
+
+@dataclass
+class Intersect(Builtin):
+    """``intersect(X, Y, Z)`` ⇔ Z = X ∩ Y."""
+
+    name: str = "intersect"
+    arity: int = 3
+
+    def ready(self, args: Sequence[Term]) -> bool:
+        return isinstance(args[0], SetValue) and isinstance(args[1], SetValue)
+
+    def solve(self, args: Sequence[Term], env: Subst) -> Iterator[Subst]:
+        x, y, z = args
+        sx, sy = _as_set(x), _as_set(y)
+        if sx is None or sy is None:
+            return
+        yield from unify(z, setvalue(e for e in sx.elems if e in sy.elems), env)
+
+
+@dataclass
+class SubsetEnum(Builtin):
+    """``subset_enum(X, Y)`` — with Y bound, enumerate all subsets X ⊆ Y."""
+
+    name: str = "subset_enum"
+    arity: int = 2
+
+    def ready(self, args: Sequence[Term]) -> bool:
+        return isinstance(args[1], SetValue)
+
+    def solve(self, args: Sequence[Term], env: Subst) -> Iterator[Subst]:
+        x, y = args
+        sy = _as_set(y)
+        if sy is None:
+            return
+        elems = sy.sorted_elems()
+        _check_decomp(len(elems))
+        for k in range(len(elems) + 1):
+            for combo in itertools.combinations(elems, k):
+                yield from unify(x, setvalue(combo), env)
+
+
+def set_builtins() -> dict[str, Builtin]:
+    """Just the set-operation builtins."""
+    out: dict[str, Builtin] = {}
+    for b in (
+        UnionBuiltin(),
+        SconsBuiltin(),
+        ChooseMin(),
+        SetDiff(),
+        Intersect(),
+        SubsetEnum(),
+    ):
+        out[b.name] = b
+    return out
+
+
+def with_set_builtins() -> dict[str, Builtin]:
+    """Default registry extended with the set operations — the engine-level
+    realisation of the languages ``L + union`` / ``L + scons``."""
+    registry = default_builtins()
+    registry.update(set_builtins())
+    return registry

@@ -1,0 +1,136 @@
+"""Tokenizer for the concrete LPS/ELPS/LDL syntax.
+
+The surface syntax is Prolog-flavoured::
+
+    % facts and Horn rules
+    edge(a, b).
+    path(X, Z) :- edge(X, Y), path(Y, Z).
+
+    % the paper's Example 1, with restricted quantifiers
+    disj(S, T) :- forall X in S (forall Y in T (X != Y)).
+
+    % LDL grouping (Definition 14)
+    parts(P, <C>) :- component(P, C).
+
+Identifiers starting with an upper-case letter are variables (their sort is
+inferred — see :mod:`repro.lang.sortinfer`); lower-case identifiers are
+constants or predicate/function symbols; ``{...}`` builds set terms;
+``%`` starts a line comment; ``#elps`` selects ELPS mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..core.errors import ParseError
+
+KEYWORDS = {"forall", "exists", "in", "not", "or", "and", "true"}
+
+#: Token kinds.
+IDENT = "IDENT"          # lower-case identifier
+VARIABLE = "VARIABLE"    # upper-case identifier
+INT = "INT"
+STRING = "STRING"
+PUNCT = "PUNCT"
+KEYWORD = "KEYWORD"
+DIRECTIVE = "DIRECTIVE"  # '#name'
+EOF = "EOF"
+
+_PUNCT_2 = (":-", "!=", "<=", ">=")
+_PUNCT_1 = "(){},.=<>+-*;"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    text: str
+    line: int
+    column: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.kind}({self.text!r})@{self.line}:{self.column}"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize a program text; raises :class:`ParseError` on bad input."""
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def advance(k: int) -> None:
+        nonlocal i, line, col
+        for _ in range(k):
+            if i < n and source[i] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            i += 1
+
+    while i < n:
+        ch = source[i]
+        if ch in " \t\r\n":
+            advance(1)
+            continue
+        if ch == "%":
+            while i < n and source[i] != "\n":
+                advance(1)
+            continue
+        start_line, start_col = line, col
+        two = source[i:i + 2]
+        if two in _PUNCT_2:
+            tokens.append(Token(PUNCT, two, start_line, start_col))
+            advance(2)
+            continue
+        if ch == "#":
+            j = i + 1
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            name = source[i + 1:j]
+            if not name:
+                raise ParseError("empty directive after '#'", line, col)
+            tokens.append(Token(DIRECTIVE, name, start_line, start_col))
+            advance(j - i)
+            continue
+        if ch in _PUNCT_1:
+            tokens.append(Token(PUNCT, ch, start_line, start_col))
+            advance(1)
+            continue
+        if ch == "'":
+            j = i + 1
+            buf = []
+            while j < n and source[j] != "'":
+                buf.append(source[j])
+                j += 1
+            if j >= n:
+                raise ParseError("unterminated quoted constant", line, col)
+            tokens.append(Token(STRING, "".join(buf), start_line, start_col))
+            advance(j - i + 1)
+            continue
+        if ch.isdigit():
+            j = i
+            while j < n and source[j].isdigit():
+                j += 1
+            tokens.append(Token(INT, source[i:j], start_line, start_col))
+            advance(j - i)
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            word = source[i:j]
+            if word in KEYWORDS:
+                kind = KEYWORD
+            elif word[0].isupper() or word[0] == "_":
+                kind = VARIABLE
+            else:
+                kind = IDENT
+            tokens.append(Token(kind, word, start_line, start_col))
+            advance(j - i)
+            continue
+        raise ParseError(f"unexpected character {ch!r}", line, col)
+    tokens.append(Token(EOF, "", line, col))
+    return tokens

@@ -1,0 +1,49 @@
+"""Nested (non-1NF) relations — the database substrate the paper targets.
+
+* :mod:`repro.nested.schema` / :mod:`repro.nested.relation` — the data
+  model: relations whose components may be sets of atoms;
+* :mod:`repro.nested.algebra` — [JS82]'s nest/unnest plus the classical
+  operators;
+* :mod:`repro.nested.bridge` — conversion to/from LPS facts and the rule
+  forms of unnest (Example 4) and nest (LDL grouping).
+"""
+
+from .schema import ATOMIC, SETOF, Attribute, Schema, SchemaError
+from .relation import NestedRelation
+from .algebra import (
+    difference,
+    natural_join,
+    nest,
+    project,
+    rename,
+    select,
+    union,
+    unnest,
+)
+from .bridge import (
+    nest_program,
+    relation_from_model,
+    relation_to_database,
+    unnest_program,
+)
+
+__all__ = [
+    "ATOMIC",
+    "SETOF",
+    "Attribute",
+    "Schema",
+    "SchemaError",
+    "NestedRelation",
+    "select",
+    "project",
+    "rename",
+    "union",
+    "difference",
+    "natural_join",
+    "nest",
+    "unnest",
+    "relation_to_database",
+    "relation_from_model",
+    "unnest_program",
+    "nest_program",
+]

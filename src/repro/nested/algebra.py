@@ -1,0 +1,143 @@
+"""Nested relational algebra: nest/unnest plus the classical operators.
+
+Jaeschke and Schek's algebra ([JS82], which the paper cites for Example 4)
+extends the flat relational algebra with two restructuring operators:
+
+* :func:`unnest` — replace a set-valued attribute by its elements, one row
+  per element (the paper's Example 4 rule ``S(x, y) :- R(x, Y) ∧ y ∈ Y``);
+* :func:`nest` — group rows on the remaining attributes and collect one
+  attribute's values into a set (LDL's grouping, Definition 14, is exactly
+  this in rule form).
+
+The classical operators (select/project/rename/join/union/difference) are
+included so the examples and benchmarks can express complete queries.  The
+algebra is value-level and independent of the LPS engine;
+:mod:`repro.nested.bridge` converts between relations and LPS facts so the
+tests can check, per the paper, that the algebra and the rules agree.
+
+Known (and classical) caveat, tested explicitly: ``unnest`` drops rows whose
+set component is empty, so ``nest ∘ unnest`` is the identity only on
+relations without empty sets, while ``unnest ∘ nest`` is the identity on
+flat relations.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Mapping
+
+from .relation import NestedRelation, Row
+from .schema import ATOMIC, SETOF, Attribute, Schema, SchemaError
+
+
+def select(
+    rel: NestedRelation, predicate: Callable[[Mapping[str, Any]], bool]
+) -> NestedRelation:
+    """σ: keep rows satisfying a predicate over an attribute-name mapping."""
+    names = rel.schema.names()
+    out = NestedRelation(rel.schema)
+    for row in rel:
+        if predicate(dict(zip(names, row))):
+            out.insert(*row)
+    return out
+
+
+def project(rel: NestedRelation, names: Iterable[str]) -> NestedRelation:
+    """π: project onto the named attributes (set semantics: dedupes)."""
+    names = list(names)
+    idx = [rel.schema.index_of(n) for n in names]
+    out = NestedRelation(rel.schema.project(names))
+    for row in rel:
+        out.insert(*(row[i] for i in idx))
+    return out
+
+
+def rename(rel: NestedRelation, mapping: Mapping[str, str]) -> NestedRelation:
+    """ρ: rename attributes."""
+    out = NestedRelation(rel.schema.rename(dict(mapping)))
+    for row in rel:
+        out.insert(*row)
+    return out
+
+
+def union(r1: NestedRelation, r2: NestedRelation) -> NestedRelation:
+    if r1.schema != r2.schema:
+        raise SchemaError("union requires identical schemas")
+    out = NestedRelation(r1.schema)
+    for row in r1:
+        out.insert(*row)
+    for row in r2:
+        out.insert(*row)
+    return out
+
+
+def difference(r1: NestedRelation, r2: NestedRelation) -> NestedRelation:
+    if r1.schema != r2.schema:
+        raise SchemaError("difference requires identical schemas")
+    out = NestedRelation(r1.schema)
+    for row in r1:
+        if row not in r2:
+            out.insert(*row)
+    return out
+
+
+def natural_join(r1: NestedRelation, r2: NestedRelation) -> NestedRelation:
+    """⋈ on shared attribute names (set-valued attributes join by equality)."""
+    shared = [n for n in r1.schema.names() if n in set(r2.schema.names())]
+    for n in shared:
+        if r1.schema.attribute(n).kind != r2.schema.attribute(n).kind:
+            raise SchemaError(f"join attribute {n!r} has conflicting kinds")
+    right_only = [n for n in r2.schema.names() if n not in shared]
+    out_schema = Schema(
+        r1.schema.attributes
+        + tuple(r2.schema.attribute(n) for n in right_only)
+    )
+    idx1 = {n: r1.schema.index_of(n) for n in r1.schema.names()}
+    idx2 = {n: r2.schema.index_of(n) for n in r2.schema.names()}
+
+    by_key: dict[tuple, list[Row]] = {}
+    for row in r2:
+        key = tuple(row[idx2[n]] for n in shared)
+        by_key.setdefault(key, []).append(row)
+    out = NestedRelation(out_schema)
+    for row in r1:
+        key = tuple(row[idx1[n]] for n in shared)
+        for other in by_key.get(key, ()):
+            out.insert(*row, *(other[idx2[n]] for n in right_only))
+    return out
+
+
+def unnest(rel: NestedRelation, name: str) -> NestedRelation:
+    """μ: flatten a set-valued attribute (Example 4's unnest).
+
+    Rows with an empty set at ``name`` produce no output rows — the
+    classical information loss of the operator.
+    """
+    attr = rel.schema.attribute(name)
+    if attr.kind != SETOF:
+        raise SchemaError(f"cannot unnest atomic attribute {name!r}")
+    pos = rel.schema.index_of(name)
+    out = NestedRelation(rel.schema.with_kind(name, ATOMIC))
+    for row in rel:
+        for elem in row[pos]:
+            new_row = list(row)
+            new_row[pos] = elem
+            out.insert(*new_row)
+    return out
+
+
+def nest(rel: NestedRelation, name: str) -> NestedRelation:
+    """ν: group on all other attributes, collecting ``name`` into a set."""
+    attr = rel.schema.attribute(name)
+    if attr.kind != ATOMIC:
+        raise SchemaError(f"cannot nest set-valued attribute {name!r}")
+    pos = rel.schema.index_of(name)
+    groups: dict[tuple, set] = {}
+    for row in rel:
+        key = row[:pos] + row[pos + 1:]
+        groups.setdefault(key, set()).add(row[pos])
+    out = NestedRelation(rel.schema.with_kind(name, SETOF))
+    for key, values in groups.items():
+        new_row = list(key)
+        new_row.insert(pos, frozenset(values))
+        out.insert(*new_row)
+    return out

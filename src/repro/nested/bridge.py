@@ -1,0 +1,98 @@
+"""Bridge between nested relations and the LPS engine.
+
+Example 4 of the paper expresses unnest as the LPS rule
+``S(x, y) :- R(x, Y) ∧ y ∈ Y``; the tests use this bridge to check that the
+algebra operators of :mod:`repro.nested.algebra` and the corresponding LPS
+programs compute the same relations:
+
+* :func:`relation_to_database` loads a nested relation as facts of a
+  predicate (set-valued attributes become set values);
+* :func:`relation_from_model` reads a predicate's extension back into a
+  nested relation under a given schema;
+* :func:`unnest_program` / :func:`nest_program` emit the LPS/LDL rule form
+  of the two restructuring operators.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.atoms import Atom, pos
+from ..core.clauses import GroupingClause, LPSClause
+from ..core.program import Program
+from ..core.sorts import SORT_A, SORT_S
+from ..core.terms import Var
+from ..core.atoms import member
+from ..engine.database import Database, from_term
+from ..engine.evaluation import Model
+from .relation import NestedRelation
+from .schema import ATOMIC, SETOF, Schema
+
+
+def relation_to_database(
+    rel: NestedRelation, pred: str, db: Optional[Database] = None
+) -> Database:
+    """Load a nested relation as facts ``pred(...)``."""
+    db = db or Database()
+    for row in rel:
+        db.add(pred, *row)
+    return db
+
+
+def relation_from_model(
+    model: Model, pred: str, schema: Schema
+) -> NestedRelation:
+    """Read a predicate's extension from a model into a nested relation."""
+    out = NestedRelation(schema)
+    for values in model.relation(pred):
+        out.insert(*values)
+    return out
+
+
+def _head_vars(schema: Schema, prefix: str = "V") -> list[Var]:
+    out = []
+    for i, attr in enumerate(schema.attributes):
+        sort = SORT_S if attr.kind == SETOF else SORT_A
+        out.append(Var(f"{prefix}{i}", sort))
+    return out
+
+
+def unnest_program(
+    schema: Schema, name: str, src_pred: str, dst_pred: str
+) -> Program:
+    """Example 4's rule: ``dst(..., y, ...) :- src(..., Y, ...) ∧ y ∈ Y``."""
+    pos_i = schema.index_of(name)
+    if schema.attribute(name).kind != SETOF:
+        raise ValueError(f"attribute {name!r} is not set-valued")
+    src_vars = _head_vars(schema)
+    elem = Var("E", SORT_A)
+    dst_args = list(src_vars)
+    dst_args[pos_i] = elem
+    rule = LPSClause(
+        head=Atom(dst_pred, tuple(dst_args)),
+        body=(
+            pos(Atom(src_pred, tuple(src_vars))),
+            pos(member(elem, src_vars[pos_i])),
+        ),
+    )
+    return Program.of(rule)
+
+
+def nest_program(
+    schema: Schema, name: str, src_pred: str, dst_pred: str
+) -> Program:
+    """The grouping form of ν: ``dst(..., ⟨x⟩, ...) :- src(..., x, ...)``."""
+    pos_i = schema.index_of(name)
+    if schema.attribute(name).kind != ATOMIC:
+        raise ValueError(f"attribute {name!r} is not atomic")
+    src_vars = _head_vars(schema)
+    group_var = src_vars[pos_i]
+    other = tuple(v for i, v in enumerate(src_vars) if i != pos_i)
+    g = GroupingClause(
+        pred=dst_pred,
+        head_args=other,
+        group_pos=pos_i,
+        group_var=group_var,
+        body=(pos(Atom(src_pred, tuple(src_vars))),),
+    )
+    return Program.of(g)

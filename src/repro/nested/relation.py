@@ -1,0 +1,100 @@
+"""Nested relations: sets of tuples whose components may be sets of atoms.
+
+Values are plain Python: atomic components are ``str``/``int``; set-valued
+components are ``frozenset`` of ``str``/``int``.  The class enforces the
+schema at insertion, so algebra operators can assume well-kinded rows.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator
+
+from .schema import ATOMIC, Attribute, Schema, SchemaError
+
+AtomValue = Any  # str | int
+Row = tuple
+
+
+def _check_value(attr: Attribute, value: Any) -> Any:
+    if attr.kind == ATOMIC:
+        if isinstance(value, (frozenset, set)):
+            raise SchemaError(
+                f"attribute {attr.name!r} is atomic; got set value {value!r}"
+            )
+        return value
+    if isinstance(value, (set, frozenset, list, tuple)):
+        for e in value:
+            if isinstance(e, (set, frozenset, list, tuple)):
+                raise SchemaError(
+                    f"attribute {attr.name!r} contains a nested set {e!r}; "
+                    "LPS-style nested relations hold sets of atoms"
+                )
+        return frozenset(value)
+    raise SchemaError(
+        f"attribute {attr.name!r} is set-valued; got atomic value {value!r}"
+    )
+
+
+class NestedRelation:
+    """An in-memory nested relation over a fixed schema."""
+
+    def __init__(self, schema: Schema, rows: Iterable[Row] = ()) -> None:
+        self.schema = schema
+        self._rows: set[Row] = set()
+        for r in rows:
+            self.insert(*r)
+
+    def insert(self, *values: Any) -> Row:
+        if len(values) != self.schema.arity:
+            raise SchemaError(
+                f"expected {self.schema.arity} values, got {len(values)}"
+            )
+        row = tuple(
+            _check_value(a, v) for a, v in zip(self.schema.attributes, values)
+        )
+        self._rows.add(row)
+        return row
+
+    def extend(self, rows: Iterable[Row]) -> None:
+        for r in rows:
+            self.insert(*r)
+
+    def rows(self) -> frozenset[Row]:
+        return frozenset(self._rows)
+
+    def column(self, name: str) -> list[Any]:
+        i = self.schema.index_of(name)
+        return [r[i] for r in sorted(self._rows, key=repr)]
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __contains__(self, row: Row) -> bool:
+        return tuple(row) in self._rows
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, NestedRelation):
+            return self.schema == other.schema and self._rows == other._rows
+        return NotImplemented
+
+    def __hash__(self) -> int:  # pragma: no cover - rarely used
+        return hash((self.schema, frozenset(self._rows)))
+
+    def pretty(self) -> str:
+        header = " | ".join(str(a) for a in self.schema.attributes)
+        lines = [header, "-" * len(header)]
+        for r in sorted(self._rows, key=repr):
+            cells = []
+            for a, v in zip(self.schema.attributes, r):
+                if a.kind == ATOMIC:
+                    cells.append(str(v))
+                else:
+                    cells.append("{" + ", ".join(sorted(map(str, v))) + "}")
+            lines.append(" | ".join(cells))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"NestedRelation({self.schema}, {len(self)} rows)"

@@ -1,0 +1,108 @@
+"""Schemas for nested (non-1NF) relations.
+
+The paper motivates LPS as a query language for **nested relations** — the
+non-first-normal-form model of [JS82] and its relatives, where a tuple
+component may be a *set* of values rather than an atomic value (Example 4's
+``R(x, Y)``, Example 6's ``parts(x, Y)``).
+
+A :class:`Schema` assigns each attribute either the atomic kind
+(:data:`ATOMIC`) or the set kind (:data:`SETOF`).  One nesting level matches
+LPS; nested schemas (sets of tuples) are deliberately out of scope — the
+paper's data model is sets of *atoms*, so ours is too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..core.errors import LPSError
+
+#: Attribute kinds.
+ATOMIC = "atomic"
+SETOF = "setof"
+
+
+class SchemaError(LPSError):
+    """Schema violation: bad attribute, kind mismatch, arity mismatch."""
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A named, kinded column."""
+
+    name: str
+    kind: str = ATOMIC
+
+    def __post_init__(self) -> None:
+        if self.kind not in (ATOMIC, SETOF):
+            raise SchemaError(f"unknown attribute kind {self.kind!r}")
+
+    def __str__(self) -> str:
+        return self.name if self.kind == ATOMIC else f"{self.name}*"
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered list of attributes with unique names."""
+
+    attributes: tuple[Attribute, ...]
+
+    def __post_init__(self) -> None:
+        names = [a.name for a in self.attributes]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate attribute names in {names}")
+
+    @staticmethod
+    def of(*specs: str) -> "Schema":
+        """Build a schema from specs like ``Schema.of("part", "components*")``
+        — a trailing ``*`` marks a set-valued attribute."""
+        attrs = []
+        for s in specs:
+            if s.endswith("*"):
+                attrs.append(Attribute(s[:-1], SETOF))
+            else:
+                attrs.append(Attribute(s, ATOMIC))
+        return Schema(tuple(attrs))
+
+    @property
+    def arity(self) -> int:
+        return len(self.attributes)
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(a.name for a in self.attributes)
+
+    def index_of(self, name: str) -> int:
+        for i, a in enumerate(self.attributes):
+            if a.name == name:
+                return i
+        raise SchemaError(f"no attribute {name!r} in {self}")
+
+    def attribute(self, name: str) -> Attribute:
+        return self.attributes[self.index_of(name)]
+
+    def project(self, names: Iterable[str]) -> "Schema":
+        return Schema(tuple(self.attribute(n) for n in names))
+
+    def drop(self, name: str) -> "Schema":
+        self.index_of(name)
+        return Schema(tuple(a for a in self.attributes if a.name != name))
+
+    def rename(self, mapping: dict[str, str]) -> "Schema":
+        return Schema(tuple(
+            Attribute(mapping.get(a.name, a.name), a.kind)
+            for a in self.attributes
+        ))
+
+    def with_kind(self, name: str, kind: str) -> "Schema":
+        return Schema(tuple(
+            Attribute(a.name, kind) if a.name == name else a
+            for a in self.attributes
+        ))
+
+    def is_flat(self) -> bool:
+        """Whether every attribute is atomic (first normal form)."""
+        return all(a.kind == ATOMIC for a in self.attributes)
+
+    def __str__(self) -> str:
+        return "(" + ", ".join(str(a) for a in self.attributes) + ")"

@@ -1,0 +1,5 @@
+"""Command-line front end (``lps run`` / ``lps query`` / ``lps repl``)."""
+
+from .cli import main
+
+__all__ = ["main"]

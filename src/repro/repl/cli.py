@@ -1,0 +1,126 @@
+"""``lps`` — a small command-line front end.
+
+Usage::
+
+    lps run PROGRAM.lps            evaluate and print the model
+    lps query PROGRAM.lps 'p(X)'   evaluate, then print query bindings
+    lps repl [PROGRAM.lps]         interactive loop
+
+In the REPL, enter clauses terminated by ``.`` to extend the program, or
+``?- atom.`` to query the (re-evaluated) model; ``:quit`` exits and
+``:model`` prints the current model.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from ..core.errors import LPSError
+from ..engine.evaluation import Model, solve
+from ..engine.setops import with_set_builtins
+from ..engine.evaluation import EvalOptions, Evaluator
+from ..lang import parse_atom, parse_program
+from ..lang.pretty import pretty_atom
+
+
+def _evaluate(source: str) -> Model:
+    program = parse_program(source)
+    evaluator = Evaluator(program, builtins=with_set_builtins())
+    return evaluator.run()
+
+
+def cmd_run(path: str) -> int:
+    with open(path) as f:
+        source = f.read()
+    model = _evaluate(source)
+    print(model.pretty())
+    return 0
+
+
+def cmd_query(path: str, query: str) -> int:
+    with open(path) as f:
+        source = f.read()
+    model = _evaluate(source)
+    pattern = parse_atom(query)
+    found = False
+    for theta in model.query(pattern):
+        found = True
+        if len(theta) == 0:
+            print("true")
+        else:
+            print(", ".join(f"{v.name} = {t}" for v, t in sorted(
+                theta.items(), key=lambda kv: kv[0].name)))
+    if not found:
+        print("false")
+    return 0
+
+
+def cmd_repl(path: Optional[str]) -> int:
+    source_lines: list[str] = []
+    if path:
+        with open(path) as f:
+            source_lines.append(f.read())
+    print("LPS repl — clauses end with '.', queries start with '?-', "
+          ":model prints the model, :quit exits.")
+    while True:
+        try:
+            line = input("lps> ").strip()
+        except EOFError:
+            print()
+            return 0
+        if not line:
+            continue
+        if line in (":quit", ":q"):
+            return 0
+        try:
+            if line == ":model":
+                model = _evaluate("\n".join(source_lines))
+                print(model.pretty())
+            elif line.startswith("?-"):
+                query = line[2:].strip().rstrip(".")
+                model = _evaluate("\n".join(source_lines))
+                pattern = parse_atom(query)
+                answers = list(model.query(pattern))
+                if not answers:
+                    print("false")
+                for theta in answers:
+                    if len(theta) == 0:
+                        print("true")
+                    else:
+                        print(", ".join(
+                            f"{v.name} = {t}" for v, t in sorted(
+                                theta.items(), key=lambda kv: kv[0].name)
+                        ))
+            else:
+                parse_program("\n".join(source_lines + [line]))  # validate
+                source_lines.append(line)
+        except LPSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(prog="lps", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+    p_run = sub.add_parser("run", help="evaluate a program, print the model")
+    p_run.add_argument("path")
+    p_query = sub.add_parser("query", help="evaluate, then answer a query")
+    p_query.add_argument("path")
+    p_query.add_argument("query")
+    p_repl = sub.add_parser("repl", help="interactive loop")
+    p_repl.add_argument("path", nargs="?")
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "run":
+            return cmd_run(args.path)
+        if args.command == "query":
+            return cmd_query(args.path, args.query)
+        return cmd_repl(args.path)
+    except LPSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,46 @@
+"""Model-theoretic and fixpoint semantics of LPS (Section 3 of the paper).
+
+* :mod:`repro.semantics.herbrand` — bounded Herbrand universes and bases
+  (Definitions 7–9, Definition 13 for ELPS);
+* :mod:`repro.semantics.interpretation` — Herbrand interpretations, model
+  checking ``M ⊨ P`` over finite universes, active-domain extraction;
+* :mod:`repro.semantics.fixpoint` — the ``T_P`` operator and its least
+  fixpoint (Definition 11, Theorem 5), by literal Lemma-4 grounding;
+* :mod:`repro.semantics.minimal` — brute-force enumeration of all Herbrand
+  models and their intersection (Definition 10, Theorem 3), used as the
+  independent oracle in the theory tests.
+"""
+
+from .herbrand import (
+    Universe,
+    atom_terms,
+    herbrand_base,
+    nested_set_values,
+    set_values,
+)
+from .interpretation import Interpretation, active_universe, assignments
+from .fixpoint import FixpointResult, TpOperator, least_fixpoint
+from .minimal import (
+    all_models,
+    intersection_of_models,
+    is_logical_consequence,
+    minimal_models,
+)
+
+__all__ = [
+    "Universe",
+    "atom_terms",
+    "set_values",
+    "nested_set_values",
+    "herbrand_base",
+    "Interpretation",
+    "assignments",
+    "active_universe",
+    "TpOperator",
+    "FixpointResult",
+    "least_fixpoint",
+    "all_models",
+    "intersection_of_models",
+    "minimal_models",
+    "is_logical_consequence",
+]

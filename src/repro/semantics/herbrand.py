@@ -1,0 +1,183 @@
+"""Herbrand universes and bases for LPS/ELPS (Definitions 7–9, Section 5).
+
+The true Herbrand universe of an LPS language is infinite in both components
+whenever there is at least one constant (``U_s`` contains *all* finite sets
+of ``U_a`` elements; with function symbols ``U_a`` is infinite too).  The
+theory tests need *finite, exhaustively enumerable* sub-universes, so this
+module provides bounded enumerators:
+
+* :func:`atom_terms` — all ground sort-``a`` terms up to a function-nesting
+  depth;
+* :func:`set_values` — all subsets (up to a size bound) of a given atom
+  carrier, optionally iterated for ELPS nesting (Definition 13);
+* :class:`Universe` — a finite two-sorted carrier used by model checking,
+  the ``T_P`` operator and the brute-force minimal-model search;
+* :func:`herbrand_base` — all ground non-special atoms over a universe
+  (Definition 8 restricted to the finite carrier).
+
+The bounded universes are *downward faithful*: they are genuine subsets of
+the Herbrand universe, so any universally quantified property checked over
+them is a necessary condition of the real thing, and any existential witness
+found in them is a real witness.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from ..core.atoms import Atom
+from ..core.errors import EvaluationError
+from ..core.sorts import SORT_A, SORT_S, SORT_U
+from ..core.terms import App, Const, SetValue, Term, setvalue
+
+
+def atom_terms(
+    constants: Sequence[Term],
+    functions: Mapping[str, int] | None = None,
+    depth: int = 0,
+) -> list[Term]:
+    """All ground sort-``a`` terms built from ``constants`` and ``functions``
+    with at most ``depth`` nested function applications.
+
+    ``depth = 0`` returns the constants alone; each extra level closes the
+    carrier under one application of every function symbol.
+    """
+    carrier: list[Term] = list(dict.fromkeys(constants))
+    if not functions:
+        return carrier
+    frontier = list(carrier)
+    for _ in range(depth):
+        new: list[Term] = []
+        for fname, arity in sorted(functions.items()):
+            for args in itertools.product(carrier, repeat=arity):
+                t = App(fname, tuple(args))
+                if t not in carrier and t not in new:
+                    new.append(t)
+        if not new:
+            break
+        carrier.extend(new)
+        frontier = new
+    return carrier
+
+
+def set_values(
+    elements: Sequence[Term],
+    max_size: int | None = None,
+    include_empty: bool = True,
+) -> list[SetValue]:
+    """All subsets of ``elements`` with at most ``max_size`` members.
+
+    ``max_size=None`` enumerates the full powerset — callers should bound the
+    carrier (|elements| ≤ ~12) or pass a size cap.
+    """
+    elems = list(dict.fromkeys(elements))
+    top = len(elems) if max_size is None else min(max_size, len(elems))
+    if max_size is None and len(elems) > 16:
+        raise EvaluationError(
+            f"refusing to enumerate the powerset of {len(elems)} elements; "
+            "pass max_size"
+        )
+    out: list[SetValue] = []
+    start = 0 if include_empty else 1
+    for k in range(start, top + 1):
+        for combo in itertools.combinations(elems, k):
+            out.append(setvalue(combo))
+    if include_empty and start == 0 and top >= 0 and not out:
+        out.append(setvalue(()))
+    return out
+
+
+def nested_set_values(
+    atoms: Sequence[Term],
+    depth: int,
+    max_size: int,
+) -> list[SetValue]:
+    """ELPS carrier: sets nested up to ``depth`` levels (Definition 13).
+
+    ``depth = 1`` gives plain sets of atoms; each further level allows the
+    previously built sets as elements alongside the atoms.
+    """
+    carrier: list[Term] = list(dict.fromkeys(atoms))
+    produced: list[SetValue] = []
+    for _ in range(depth):
+        layer = set_values(carrier, max_size=max_size)
+        for sv in layer:
+            if sv not in produced:
+                produced.append(sv)
+                carrier.append(sv)
+    return produced
+
+
+@dataclass(frozen=True)
+class Universe:
+    """A finite two-sorted carrier ``(D, D*)`` with ``D* ⊆ P^fin(D)``.
+
+    ``atoms`` plays the role of ``U_a`` (or, for ELPS checks, the atom part
+    of ``U_L``), ``sets`` the role of ``U_s``.  Membership/equality are
+    structural, per Definition 3.
+    """
+
+    atoms: tuple[Term, ...]
+    sets: tuple[SetValue, ...]
+
+    def __post_init__(self) -> None:
+        for t in self.atoms:
+            if not t.is_ground() or isinstance(t, SetValue):
+                raise EvaluationError(f"universe atom {t} must be a ground a-term")
+        for s in self.sets:
+            if not isinstance(s, SetValue):
+                raise EvaluationError(f"universe set {s} must be a SetValue")
+
+    @staticmethod
+    def build(
+        constants: Sequence[Term],
+        functions: Mapping[str, int] | None = None,
+        depth: int = 0,
+        max_set_size: int | None = None,
+    ) -> "Universe":
+        """Bounded Herbrand universe per Definition 7."""
+        atoms = atom_terms(constants, functions, depth)
+        sets = set_values(atoms, max_size=max_set_size)
+        return Universe(tuple(atoms), tuple(sets))
+
+    def carrier(self, sort: str) -> Sequence[Term]:
+        """The carrier of a sort (``u`` gets atoms and sets, ELPS-style)."""
+        if sort == SORT_A:
+            return self.atoms
+        if sort == SORT_S:
+            return self.sets
+        if sort == SORT_U:
+            return tuple(self.atoms) + tuple(self.sets)
+        raise EvaluationError(f"unknown sort {sort!r}")
+
+    def __contains__(self, term: Term) -> bool:
+        if isinstance(term, SetValue):
+            return term in self.sets
+        return term in self.atoms
+
+    @property
+    def size(self) -> tuple[int, int]:
+        return (len(self.atoms), len(self.sets))
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Universe(|D|={len(self.atoms)}, |D*|={len(self.sets)})"
+
+
+def herbrand_base(
+    signatures: Mapping[str, Sequence[str]],
+    universe: Universe,
+) -> Iterator[Atom]:
+    """All ground non-special atoms ``p(u1,…,uk)`` over the universe.
+
+    ``signatures`` maps predicate names to their argument-sort strings
+    (e.g. ``{"disj": ("s", "s")}``).  Special atoms (``=``, ``in``) are not
+    enumerated — their interpretation is fixed by Definition 3 and handled
+    structurally by the model checker.
+    """
+    for pred in sorted(signatures):
+        sorts = signatures[pred]
+        carriers = [universe.carrier(s) for s in sorts]
+        for combo in itertools.product(*carriers):
+            yield Atom(pred, tuple(combo))

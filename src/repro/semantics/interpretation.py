@@ -1,0 +1,225 @@
+"""Herbrand interpretations and model checking (Definitions 3, 8, 9).
+
+A Herbrand interpretation is a set of ground non-special atoms; the special
+predicates ``=`` and ``in`` have their interpretations fixed structurally
+(identity and set membership), which is exactly what Definition 3 requires
+of an LPS model and what makes Lemma 1 automatic here.
+
+:class:`Interpretation` stores the atoms with a per-predicate index and
+implements
+
+* :meth:`Interpretation.holds` — the atom oracle used by formula evaluation,
+* :meth:`Interpretation.satisfies_clause` — ``M ⊨ C`` by enumerating ground
+  substitutions for the clause's free variables over a finite
+  :class:`~repro.semantics.herbrand.Universe`,
+* :meth:`Interpretation.satisfies_program` — ``M ⊨ P``.
+
+Model checking a clause against a finite universe is decidable and exact;
+the theory tests rely on this as the *independent* semantics oracle against
+which the engine and the fixpoint operator are validated.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Iterator, Mapping, Optional, Sequence
+
+from ..core.atoms import Atom
+from ..core.clauses import GroupingClause, LPSClause
+from ..core.errors import EvaluationError
+from ..core.formulas import evaluate
+from ..core.program import Program
+from ..core.substitution import Subst
+from ..core.terms import SetValue, Term, Var, order_key, setvalue
+from .herbrand import Universe
+
+
+class Interpretation:
+    """A mutable set of ground non-special atoms with a predicate index."""
+
+    __slots__ = ("_atoms", "_by_pred")
+
+    def __init__(self, atoms: Iterable[Atom] = ()) -> None:
+        self._atoms: set[Atom] = set()
+        self._by_pred: dict[str, set[Atom]] = {}
+        for a in atoms:
+            self.add(a)
+
+    # -- mutation ----------------------------------------------------------------
+
+    def add(self, a: Atom) -> bool:
+        """Insert a ground atom; returns ``True`` if it was new."""
+        if a.is_special():
+            raise EvaluationError(
+                f"special atom {a} cannot be asserted; its interpretation is "
+                "fixed (Definition 3)"
+            )
+        if not a.is_ground():
+            raise EvaluationError(f"cannot assert non-ground atom {a}")
+        if a in self._atoms:
+            return False
+        self._atoms.add(a)
+        self._by_pred.setdefault(a.pred, set()).add(a)
+        return True
+
+    def update(self, atoms: Iterable[Atom]) -> int:
+        """Insert many atoms; returns the number actually added."""
+        return sum(1 for a in atoms if self.add(a))
+
+    def copy(self) -> "Interpretation":
+        out = Interpretation()
+        out._atoms = set(self._atoms)
+        out._by_pred = {p: set(s) for p, s in self._by_pred.items()}
+        return out
+
+    # -- queries ------------------------------------------------------------------
+
+    def holds(self, a: Atom) -> bool:
+        """Whether a ground non-special atom is true in this interpretation."""
+        return a in self._atoms
+
+    def by_pred(self, pred: str) -> frozenset[Atom]:
+        return frozenset(self._by_pred.get(pred, ()))
+
+    def predicates(self) -> set[str]:
+        return {p for p, s in self._by_pred.items() if s}
+
+    def __contains__(self, a: Atom) -> bool:
+        return a in self._atoms
+
+    def __iter__(self) -> Iterator[Atom]:
+        return iter(self._atoms)
+
+    def __len__(self) -> int:
+        return len(self._atoms)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Interpretation):
+            return self._atoms == other._atoms
+        return NotImplemented
+
+    def __hash__(self) -> int:  # pragma: no cover - rarely needed
+        return hash(frozenset(self._atoms))
+
+    def __le__(self, other: "Interpretation") -> bool:
+        return self._atoms <= other._atoms
+
+    def __or__(self, other: "Interpretation") -> "Interpretation":
+        return Interpretation(itertools.chain(self._atoms, other._atoms))
+
+    def __and__(self, other: "Interpretation") -> "Interpretation":
+        return Interpretation(a for a in self._atoms if a in other)
+
+    def atoms(self) -> frozenset[Atom]:
+        return frozenset(self._atoms)
+
+    def sorted_atoms(self) -> list[Atom]:
+        """Atoms in a deterministic order for printing and diffing."""
+        return sorted(
+            self._atoms,
+            key=lambda a: (a.pred, tuple(order_key(t) for t in a.args)),
+        )
+
+    def pretty(self) -> str:
+        return "\n".join(f"{a}." for a in self.sorted_atoms())
+
+    def __repr__(self) -> str:
+        return f"Interpretation({len(self._atoms)} atoms)"
+
+    # -- model checking -------------------------------------------------------------
+
+    def satisfies_clause(self, c: LPSClause, universe: Universe) -> bool:
+        """``M ⊨ C`` relative to a finite universe.
+
+        Enumerates every assignment of the clause's free variables over the
+        universe carriers and checks head-or-not-body.  Restricted
+        quantifiers inside the body are unfolded over their (then ground)
+        range sets, honouring the ``(∀x ∈ ∅)φ ≡ true`` convention.
+        """
+        free = sorted(c.free_vars(), key=lambda v: (v.sort, v.name))
+        body = c.body_formula()
+        for theta in assignments(free, universe):
+            head = c.head.substitute(theta)
+            if self.holds(head):
+                continue
+            if evaluate(body.substitute(theta), self.holds):
+                return False
+        return True
+
+    def satisfies_program(self, p: Program, universe: Universe) -> bool:
+        """``M ⊨ P`` for programs of LPS clauses (grouping is not first-order
+        satisfiable in this sense and is rejected)."""
+        for c in p.clauses:
+            if isinstance(c, GroupingClause):
+                raise EvaluationError(
+                    "grouping clauses have no first-order satisfaction "
+                    "relation; evaluate them with the engine"
+                )
+            if not self.satisfies_clause(c, universe):
+                return False
+        return True
+
+    def failing_instance(
+        self, c: LPSClause, universe: Universe
+    ) -> Optional[Subst]:
+        """A witness substitution under which the clause is violated, if any."""
+        free = sorted(c.free_vars(), key=lambda v: (v.sort, v.name))
+        body = c.body_formula()
+        for theta in assignments(free, universe):
+            head = c.head.substitute(theta)
+            if self.holds(head):
+                continue
+            if evaluate(body.substitute(theta), self.holds):
+                return theta
+        return None
+
+
+def assignments(variables: Sequence[Var], universe: Universe) -> Iterator[Subst]:
+    """All ground substitutions for ``variables`` over the universe."""
+    if not variables:
+        yield Subst()
+        return
+    carriers = [universe.carrier(v.sort) for v in variables]
+    for combo in itertools.product(*carriers):
+        yield Subst(dict(zip(variables, combo)))
+
+
+def active_universe(
+    program: Program,
+    interp: Optional[Interpretation] = None,
+    extra_atoms: Iterable[Term] = (),
+    extra_sets: Iterable[SetValue] = (),
+) -> Universe:
+    """The **active domain** universe of a program plus an interpretation.
+
+    Contains every ground sort-a term and every set value occurring in the
+    program's clauses, the interpretation's atoms, and the given extras —
+    closed downward (elements of occurring sets are included as atoms when
+    they are a-terms, and as sets when nested).  The empty set is always
+    present: the paper's semantics of restricted quantification makes ``∅``
+    a first-class citizen (Definition 4).
+    """
+    from ..core.terms import App, Const, subterms
+
+    atoms: dict[Term, None] = {}
+    sets: dict[SetValue, None] = {}
+
+    def note(t: Term) -> None:
+        for s in subterms(t):
+            if isinstance(s, SetValue):
+                sets.setdefault(s, None)
+            elif isinstance(s, (Const, App)) and s.is_ground():
+                atoms.setdefault(s, None)
+
+    for t in program.all_terms():
+        note(t)
+    if interp is not None:
+        for a in interp:
+            for t in a.args:
+                note(t)
+    for t in extra_atoms:
+        note(t)
+    for s in extra_sets:
+        note(s)
+    sets.setdefault(setvalue(()), None)
+    return Universe(tuple(atoms), tuple(sets))

@@ -1,0 +1,108 @@
+"""Brute-force minimal-model machinery (Theorem 3 and its tests).
+
+Definition 10 defines the least Herbrand model ``M_P`` as the intersection
+of *all* Herbrand models of ``P``; Theorem 3 states that this intersection
+is itself a model and consists exactly of the logical consequences of ``P``.
+
+Over a finite universe and a finite predicate inventory the Herbrand base is
+finite, so "all Herbrand models" is a finite (if exponential) collection.
+This module enumerates it directly:
+
+* :func:`all_models` — every subset of the Herbrand base that satisfies the
+  program (the theory tests keep the base below ~16 atoms);
+* :func:`intersection_of_models` — Definition 10, literally;
+* :func:`minimal_models` — the ⊆-minimal models (for positive LPS programs
+  there is exactly one, which the tests check against the fixpoint).
+
+These functions are intentionally independent of :mod:`repro.semantics.fixpoint`
+and of the engine: they are the oracle that Theorems 3 and 5 are validated
+against.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, Mapping, Sequence
+
+from ..core.atoms import Atom
+from ..core.errors import EvaluationError
+from ..core.program import Program
+from .herbrand import Universe, herbrand_base
+from .interpretation import Interpretation
+
+#: Refuse to enumerate power sets above this base size.
+MAX_BASE = 22
+
+
+def finite_base(
+    program: Program,
+    universe: Universe,
+    signatures: Mapping[str, Sequence[str]],
+) -> list[Atom]:
+    """The finite Herbrand base for the program's predicates."""
+    base = list(herbrand_base(signatures, universe))
+    if len(base) > MAX_BASE:
+        raise EvaluationError(
+            f"Herbrand base has {len(base)} atoms; brute-force model "
+            f"enumeration is capped at {MAX_BASE}"
+        )
+    return base
+
+
+def all_models(
+    program: Program,
+    universe: Universe,
+    signatures: Mapping[str, Sequence[str]],
+) -> Iterator[Interpretation]:
+    """Every Herbrand model of the program over the finite universe."""
+    base = finite_base(program, universe, signatures)
+    for bits in itertools.product((False, True), repeat=len(base)):
+        interp = Interpretation(a for a, b in zip(base, bits) if b)
+        if interp.satisfies_program(program, universe):
+            yield interp
+
+
+def intersection_of_models(
+    program: Program,
+    universe: Universe,
+    signatures: Mapping[str, Sequence[str]],
+) -> Interpretation:
+    """Definition 10: the intersection of all Herbrand models.
+
+    Raises :class:`EvaluationError` if the program has no Herbrand model
+    over the universe (possible with clauses like Example 7's, or simply
+    because the finite universe lacks witnesses).
+    """
+    result: Interpretation | None = None
+    for m in all_models(program, universe, signatures):
+        result = m if result is None else (result & m)
+    if result is None:
+        raise EvaluationError("program has no Herbrand model over this universe")
+    return result
+
+
+def minimal_models(
+    program: Program,
+    universe: Universe,
+    signatures: Mapping[str, Sequence[str]],
+) -> list[Interpretation]:
+    """The ⊆-minimal Herbrand models."""
+    models = list(all_models(program, universe, signatures))
+    out: list[Interpretation] = []
+    for m in models:
+        if not any(other.atoms() < m.atoms() for other in models):
+            out.append(m)
+    return out
+
+
+def is_logical_consequence(
+    program: Program,
+    universe: Universe,
+    signatures: Mapping[str, Sequence[str]],
+    query: Atom,
+) -> bool:
+    """Whether ``query`` holds in every Herbrand model (Theorem 3(2))."""
+    return all(
+        m.holds(query)
+        for m in all_models(program, universe, signatures)
+    )

@@ -1,0 +1,54 @@
+"""Program transformations: the paper's constructive theorems.
+
+* :mod:`repro.transform.positive` — Theorem 6 (positive formulas → LPS);
+* :mod:`repro.transform.union_scons` — Theorem 10 (ELPS ↔ Horn+union ↔
+  Horn+scons);
+* :mod:`repro.transform.ldl` — Theorem 11/12 (LDL grouping ↔ ELPS with
+  stratified negation);
+* :mod:`repro.transform.setof` — Section 4.2 (set construction with
+  stratified negation, complementing Theorem 8's impossibility);
+* :mod:`repro.transform.fresh` — auxiliary-name bookkeeping shared by all.
+"""
+
+from .fresh import FreshNames
+from .positive import compile_program, compile_rule
+from .union_scons import (
+    SCONS,
+    UNION,
+    from_horn_scons,
+    from_horn_union,
+    scons_axiom,
+    to_horn_scons,
+    to_horn_union,
+    union_axiom,
+)
+from .ldl import (
+    candidate_rules,
+    grouping_to_elps,
+    proper_subset_rule,
+    union_to_grouping,
+)
+from .setof import setof_program, setof_rules
+from .demand import add_demand, demanded_sum_program
+
+__all__ = [
+    "FreshNames",
+    "compile_rule",
+    "compile_program",
+    "UNION",
+    "SCONS",
+    "union_axiom",
+    "scons_axiom",
+    "from_horn_union",
+    "from_horn_scons",
+    "to_horn_union",
+    "to_horn_scons",
+    "grouping_to_elps",
+    "union_to_grouping",
+    "proper_subset_rule",
+    "candidate_rules",
+    "setof_program",
+    "setof_rules",
+    "add_demand",
+    "demanded_sum_program",
+]

@@ -1,0 +1,62 @@
+"""Fresh-name generation for program transformations.
+
+Every construction in Sections 4 and 6 of the paper introduces auxiliary
+predicates ("Let N1 and N2 be new predicates...") and fresh variables; this
+module centralises that bookkeeping so generated names never collide with
+the source program's.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Optional
+
+from ..core.program import Program
+from ..core.sorts import SORT_A, SORT_S
+from ..core.terms import Var
+
+
+class FreshNames:
+    """A generator of predicate and variable names disjoint from a program's."""
+
+    def __init__(
+        self,
+        program: Optional[Program] = None,
+        reserved: Iterable[str] = (),
+        prefix: str = "aux",
+    ) -> None:
+        self._taken: set[str] = set(reserved)
+        if program is not None:
+            self._taken |= set(program.predicates())
+            self._taken |= set(program.function_symbols())
+            for t in program.all_terms():
+                from ..core.terms import free_vars
+
+                self._taken |= {v.name for v in free_vars(t)}
+        self._prefix = prefix
+        self._pred_counter = itertools.count(1)
+        self._var_counter = itertools.count(1)
+
+    def predicate(self, hint: str = "") -> str:
+        """A fresh predicate name, optionally embedding a readable hint."""
+        while True:
+            n = next(self._pred_counter)
+            name = f"{self._prefix}_{hint}_{n}" if hint else f"{self._prefix}_{n}"
+            if name not in self._taken:
+                self._taken.add(name)
+                return name
+
+    def var(self, sort: str = SORT_A, hint: str = "v") -> Var:
+        """A fresh variable of the given sort."""
+        while True:
+            n = next(self._var_counter)
+            name = f"{hint}_{n}"
+            if name not in self._taken:
+                self._taken.add(name)
+                return Var(name, sort)
+
+    def set_var(self, hint: str = "S") -> Var:
+        return self.var(SORT_S, hint)
+
+    def reserve(self, name: str) -> None:
+        self._taken.add(name)

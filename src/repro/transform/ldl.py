@@ -1,0 +1,199 @@
+"""Theorem 11/12: LDL grouping versus ELPS with (stratified) negation.
+
+Definition 14 gives LDL's grouping clause ``A(x1,…,xn,⟨x⟩) :- B1 ∧ … ∧ Bm``:
+the grouped position holds the set of all ``x`` values satisfying the body.
+Theorem 11 shows LDL programs and ELPS programs with negation are
+inter-translatable; Theorem 12 notes the stratified case (one direction of
+which the paper leaves open).
+
+**Grouping → ELPS with negation** (:func:`grouping_to_elps`) is the paper's
+construction (it is "essentially the same technique used to construct sets
+at the end of Section 4.2")::
+
+    q(y, Z)          :- (∀z∈y)(z∈Z) ∧ w∈Z ∧ ¬(w∈y)          -- y ⊊ Z
+    p(x1,…,xn, y)    :- q(y, Z) ∧ (∀x∈Z)(B1 ∧ … ∧ Bm)       -- some proper
+                                                               superset works
+    A(x1,…,xn, y)    :- (∀x∈y)(B1 ∧ … ∧ Bm) ∧ ¬p(x1,…,xn, y)
+
+``A`` then holds exactly for the *maximal* set of witnesses.  Caveats,
+machine-checked in the tests:
+
+* the construction finds the grouped set only if that set **exists in the
+  active domain** (the paper works over the full Herbrand universe, where
+  every finite set exists; a finite evaluator must materialise candidates —
+  :func:`candidate_rules` emits an LDL-free generator based on the
+  ``subset_enum`` builtin, or callers may seed the domain);
+* for a binding of ``x1,…,xn`` with *no* witnesses the translation derives
+  ``A(x̄, ∅)`` (the empty set vacuously qualifies), whereas an LDL engine
+  derives nothing; pass ``nonempty=True`` to add an ``(∃x∈y)`` guard and
+  match engine behaviour exactly.
+
+**Horn+union → LDL** (:func:`union_to_grouping`) is the paper's other
+direction: replace the ``union`` predicate by a grouped predicate ``q``
+defined from the element relation::
+
+    p(x, y, z) :- z ∈ x        p(x, y, z) :- z ∈ y
+    q(x, y, ⟨z⟩) :- p(x, y, z)
+
+so that ``q(x, y, S)`` holds iff ``S = x ∪ y`` (for x ∪ y ≠ ∅; the paper's
+construction shares the empty-group caveat above).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..core.atoms import Atom, Literal, atom, member, neg, pos
+from ..core.clauses import GroupingClause, LPSClause, Rule
+from ..core.formulas import AndF, AtomF, ExistsIn, ForallIn, NotF, conj
+from ..core.program import AnyClause, MODE_ELPS, Program, rename_predicates
+from ..core.sorts import SORT_A, SORT_S
+from ..core.terms import Term, Var
+from .fresh import FreshNames
+from .positive import compile_program
+from .union_scons import UNION
+
+
+def proper_subset_rule(pred: str, fresh: FreshNames) -> Rule:
+    """``pred(Y1, Y2)`` ⇔ Y1 ⊊ Y2, as a positive-formula-plus-negation rule."""
+    y1, y2 = fresh.set_var("Psub1"), fresh.set_var("Psub2")
+    z = fresh.var(SORT_A, "psz")
+    w = fresh.var(SORT_A, "psw")
+    body = conj(
+        ForallIn(z, y1, AtomF(member(z, y2))),
+        AtomF(member(w, y2)),
+        NotF(AtomF(member(w, y1))),
+    )
+    return Rule(head=atom(pred, y1, y2), body=body)
+
+
+def grouping_to_elps(
+    program: Program,
+    nonempty: bool = True,
+    faithful: bool = False,
+) -> Program:
+    """Translate every LDL grouping clause into ELPS clauses with stratified
+    negation (Theorem 11's final construction)."""
+    fresh = FreshNames(program, prefix="ldl")
+    out: list[Rule | AnyClause] = []
+    for c in program.clauses:
+        if not isinstance(c, GroupingClause):
+            out.append(c)
+            continue
+        out.extend(_translate_grouping(c, fresh, nonempty))
+    return compile_program(out, mode=MODE_ELPS, faithful=faithful, fresh=fresh)
+
+
+def _translate_grouping(
+    g: GroupingClause, fresh: FreshNames, nonempty: bool
+) -> list[Rule]:
+    body_conj = conj(*(
+        AtomF(l.atom) if l.positive else NotF(AtomF(l.atom)) for l in g.body
+    ))
+    q_pred = fresh.predicate("psub")
+    rules: list[Rule] = [proper_subset_rule(q_pred, fresh)]
+
+    y = fresh.set_var("Grp")
+    z_set = fresh.set_var("Sup")
+    group_x = g.group_var
+    other_args = tuple(g.head_args)
+
+    # p(x̄, y): some proper superset of y consists of witnesses only.
+    p_pred = fresh.predicate("bigger")
+    head_vars = tuple(
+        sorted(
+            {v for t in other_args for v in _vars_of(t)},
+            key=lambda v: (v.sort, v.name),
+        )
+    )
+    p_head = Atom(p_pred, head_vars + (y,))
+    p_body = conj(
+        AtomF(atom(q_pred, y, z_set)),
+        ForallIn(group_x, z_set, body_conj),
+    )
+    rules.append(Rule(head=p_head, body=p_body))
+
+    # A(x̄, y): every element of y is a witness, and no larger set qualifies.
+    final_args = list(other_args)
+    final_args.insert(g.group_pos, y)
+    a_head = Atom(g.pred, tuple(final_args))
+    parts = [ForallIn(group_x, y, body_conj)]
+    if nonempty:
+        parts.append(ExistsIn(group_x, y, body_conj))
+    parts.append(NotF(AtomF(p_head)))
+    rules.append(Rule(head=a_head, body=conj(*parts)))
+    return rules
+
+
+def _vars_of(t: Term) -> set[Var]:
+    from ..core.terms import free_vars
+
+    return free_vars(t)
+
+
+def candidate_rules(
+    universe_source_pred: str,
+    candidate_pred: str,
+    fresh: Optional[FreshNames] = None,
+) -> list[AnyClause]:
+    """Materialise candidate grouped sets for the translation above.
+
+    Emits::
+
+        <univ>(⟨x⟩)     :- <universe_source_pred>(x).       (grouping)
+        <candidate>(S)  :- <univ>(U), subset_enum(S, U).
+
+    so every subset of the witness universe exists in the active domain,
+    which is what :func:`grouping_to_elps`'s output needs to find maximal
+    sets.  Exponential by design — the tests keep universes small, and the
+    benchmarks measure the cost honestly.
+    """
+    fresh = fresh or FreshNames(prefix="cand")
+    univ_pred = fresh.predicate("univ")
+    x = fresh.var(SORT_A, "cx")
+    u = fresh.set_var("CU")
+    s = fresh.set_var("CS")
+    g = GroupingClause(
+        pred=univ_pred,
+        head_args=(),
+        group_pos=0,
+        group_var=x,
+        body=(pos(atom(universe_source_pred, x)),),
+    )
+    c = LPSClause(
+        head=Atom(candidate_pred, (s,)),
+        body=(
+            pos(Atom(univ_pred, (u,))),
+            pos(atom("subset_enum", s, u)),
+        ),
+    )
+    return [g, c]
+
+
+def union_to_grouping(program: Program) -> Program:
+    """Replace the ``union`` predicate by an LDL grouped definition
+    (Theorem 11's Horn+union → LDL direction)."""
+    fresh = FreshNames(program, reserved={UNION}, prefix="t11")
+    q_pred = fresh.predicate("union")
+    renamed = rename_predicates(program, {UNION: q_pred})
+    p_pred = fresh.predicate("elem")
+    x, y = fresh.set_var("Ux"), fresh.set_var("Uy")
+    z = fresh.var(SORT_A, "uz")
+    defs: list[AnyClause] = [
+        LPSClause(
+            head=Atom(p_pred, (x, y, z)),
+            body=(pos(member(z, x)),),
+        ),
+        LPSClause(
+            head=Atom(p_pred, (x, y, z)),
+            body=(pos(member(z, y)),),
+        ),
+        GroupingClause(
+            pred=q_pred,
+            head_args=(x, y),
+            group_pos=2,
+            group_var=z,
+            body=(pos(Atom(p_pred, (x, y, z))),),
+        ),
+    ]
+    return Program(renamed.clauses + tuple(defs), mode=MODE_ELPS)

@@ -1,0 +1,97 @@
+"""Section 4.2: set construction.
+
+Theorem 8 proves no LPS program can define ``B(X) ⇔ X = {x | A(x)}`` — the
+argument works in *any* language with minimal-model semantics, because
+enlarging the program (``P1 ⊆ P2``) can only enlarge the least model, while
+the target predicate ``B`` would have to give up ``B({c1})`` when ``A(c2)``
+is added.  The paper then shows the predicate *is* definable once stratified
+negation is available::
+
+    C(X) :- X ⊊ Y ∧ (∀y∈Y) A(y)          -- some strictly larger set of
+                                            A-witnesses exists
+    B(X) :- (∀x∈X) A(x) ∧ ¬C(X)          -- X is a maximal witness set
+
+with ``X ⊊ Y`` itself defined by ``(∀x∈X)(x∈Y) ∧ z∈Y ∧ ¬(z∈X)``.
+
+:func:`setof_rules` emits that construction verbatim (as positive-formula
+rules compiled through Theorem 6).  Because a finite evaluator only sees
+sets in the active domain, :func:`setof_program` additionally emits
+candidate-set generators (an LDL grouping over ``A`` plus ``subset_enum``),
+mirroring the closed-world discussion at the end of Section 4.2: to
+construct ``{x | A(x)}`` one needs to know, for each ``x``, whether ``A(x)``
+fails — which is exactly what the stratified negation supplies.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.atoms import Atom, atom, member, pos
+from ..core.clauses import LPSClause, Rule
+from ..core.formulas import AtomF, ForallIn, NotF, conj
+from ..core.program import AnyClause, Program
+from ..core.sorts import SORT_A
+from .fresh import FreshNames
+from .ldl import candidate_rules, proper_subset_rule
+from .positive import compile_program
+
+
+def setof_rules(
+    a_pred: str,
+    b_pred: str,
+    fresh: Optional[FreshNames] = None,
+) -> list[Rule]:
+    """The paper's C/B construction for ``B(X) ⇔ X = {x | A(x)}``."""
+    fresh = fresh or FreshNames(reserved={a_pred, b_pred}, prefix="setof")
+    psub = fresh.predicate("psub")
+    c_pred = fresh.predicate("c")
+
+    x_set = fresh.set_var("SX")
+    y_set = fresh.set_var("SY")
+    xa = fresh.var(SORT_A, "sx")
+    ya = fresh.var(SORT_A, "sy")
+
+    rules = [proper_subset_rule(psub, fresh)]
+    rules.append(
+        Rule(
+            head=Atom(c_pred, (x_set,)),
+            body=conj(
+                AtomF(atom(psub, x_set, y_set)),
+                ForallIn(ya, y_set, AtomF(atom(a_pred, ya))),
+            ),
+        )
+    )
+    rules.append(
+        Rule(
+            head=Atom(b_pred, (x_set,)),
+            body=conj(
+                ForallIn(xa, x_set, AtomF(atom(a_pred, xa))),
+                NotF(AtomF(Atom(c_pred, (x_set,)))),
+            ),
+        )
+    )
+    return rules
+
+
+def setof_program(
+    a_pred: str,
+    b_pred: str,
+    base: Optional[Program] = None,
+    materialise_candidates: bool = True,
+    faithful: bool = False,
+) -> Program:
+    """A complete runnable program defining ``B(X) ⇔ X = {x | A(x)}``.
+
+    ``base`` supplies the clauses defining ``a_pred``.  When
+    ``materialise_candidates`` is set (default), grouping + ``subset_enum``
+    rules put every subset of the witness universe into the active domain so
+    the maximality test can quantify over them; run the result with the
+    ``with_set_builtins()`` registry.
+    """
+    fresh = FreshNames(base, reserved={a_pred, b_pred}, prefix="setof")
+    items: list[Rule | AnyClause] = list(base.clauses) if base is not None else []
+    items.extend(setof_rules(a_pred, b_pred, fresh))
+    if materialise_candidates:
+        items.extend(candidate_rules(a_pred, fresh.predicate("cand"), fresh))
+    mode = base.mode if base is not None else "lps"
+    return compile_program(items, mode=mode, faithful=faithful, fresh=fresh)

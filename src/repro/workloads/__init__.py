@@ -1,0 +1,29 @@
+"""Deterministic synthetic workloads for tests and benchmarks."""
+
+from .generators import (
+    PartsWorld,
+    chain_graph,
+    cycle_graph,
+    grid_graph,
+    nested_relation_rows,
+    number_set,
+    parts_database,
+    parts_world,
+    random_graph,
+    random_sets,
+    set_database,
+)
+
+__all__ = [
+    "random_sets",
+    "set_database",
+    "chain_graph",
+    "cycle_graph",
+    "grid_graph",
+    "random_graph",
+    "PartsWorld",
+    "parts_world",
+    "parts_database",
+    "number_set",
+    "nested_relation_rows",
+]

@@ -1,0 +1,158 @@
+"""Synthetic workload generators for tests and benchmarks.
+
+All generators are deterministic given a seed, so benchmark numbers in
+EXPERIMENTS.md are reproducible.  They produce plain Python values (the
+engine's :class:`~repro.engine.database.Database` converts them).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from ..engine.database import Database
+
+
+def random_sets(
+    n_sets: int,
+    universe: int,
+    min_size: int = 0,
+    max_size: int = 6,
+    seed: int = 0,
+) -> list[frozenset[int]]:
+    """``n_sets`` random subsets of ``{0..universe-1}``."""
+    rng = random.Random(seed)
+    out = []
+    for _ in range(n_sets):
+        k = rng.randint(min_size, max_size)
+        out.append(frozenset(rng.sample(range(universe), min(k, universe))))
+    return out
+
+
+def set_database(
+    pred: str,
+    n_sets: int,
+    universe: int,
+    max_size: int = 6,
+    seed: int = 0,
+) -> Database:
+    """A database of unary set facts ``pred(S)``."""
+    db = Database()
+    for s in random_sets(n_sets, universe, max_size=max_size, seed=seed):
+        db.add(pred, s)
+    return db
+
+
+def chain_graph(n: int) -> list[tuple[str, str]]:
+    """Edges of a path ``v0 → v1 → … → vn``."""
+    return [(f"v{i}", f"v{i+1}") for i in range(n)]
+
+
+def cycle_graph(n: int) -> list[tuple[str, str]]:
+    return chain_graph(n - 1) + [(f"v{n-1}", "v0")]
+
+
+def grid_graph(w: int, h: int) -> list[tuple[str, str]]:
+    """Edges of a directed w×h grid (right and down)."""
+    out = []
+    for i in range(w):
+        for j in range(h):
+            if i + 1 < w:
+                out.append((f"g{i}_{j}", f"g{i+1}_{j}"))
+            if j + 1 < h:
+                out.append((f"g{i}_{j}", f"g{i}_{j+1}"))
+    return out
+
+
+def random_graph(n: int, m: int, seed: int = 0) -> list[tuple[str, str]]:
+    rng = random.Random(seed)
+    out = set()
+    while len(out) < m:
+        a, b = rng.randrange(n), rng.randrange(n)
+        if a != b:
+            out.add((f"v{a}", f"v{b}"))
+    return sorted(out)
+
+
+@dataclass(frozen=True)
+class PartsWorld:
+    """A parts-explosion hierarchy (the paper's Example 6).
+
+    ``parts`` maps assemblies to their component sets; ``cost`` gives base
+    costs of leaf parts; ``expected`` is the analytically computed roll-up
+    cost of every object — what the LPS program must reproduce.
+    """
+
+    parts: dict[str, frozenset[str]]
+    cost: dict[str, int]
+    expected: dict[str, int]
+
+
+def parts_world(
+    depth: int,
+    fanout: int,
+    leaf_cost: int = 1,
+    seed: int = 0,
+) -> PartsWorld:
+    """A complete ``fanout``-ary assembly tree of the given depth.
+
+    Every internal node is an assembly whose components are its children;
+    leaves have base costs ``leaf_cost + (index mod 3)``.
+    """
+    rng = random.Random(seed)
+    parts: dict[str, frozenset[str]] = {}
+    cost: dict[str, int] = {}
+    expected: dict[str, int] = {}
+    counter = [0]
+
+    def build(level: int) -> str:
+        name = f"p{counter[0]}"
+        counter[0] += 1
+        if level >= depth:
+            c = leaf_cost + (counter[0] % 3)
+            cost[name] = c
+            expected[name] = c
+            return name
+        children = [build(level + 1) for _ in range(fanout)]
+        parts[name] = frozenset(children)
+        expected[name] = sum(expected[ch] for ch in children)
+        return name
+
+    build(0)
+    return PartsWorld(parts=parts, cost=cost, expected=expected)
+
+
+def parts_database(world: PartsWorld) -> Database:
+    db = Database()
+    for obj, components in world.parts.items():
+        db.add("parts", obj, components)
+    for leaf, c in world.cost.items():
+        db.add("cost", leaf, c)
+    return db
+
+
+def number_set(n: int, seed: int = 0) -> frozenset[int]:
+    """``n`` distinct positive integers (for the Example 5 sum benchmark)."""
+    rng = random.Random(seed)
+    out: set[int] = set()
+    while len(out) < n:
+        out.add(rng.randint(1, 10 * n + 10))
+    return frozenset(out)
+
+
+def nested_relation_rows(
+    n_rows: int,
+    set_width: int,
+    universe: int = 1000,
+    seed: int = 0,
+) -> list[tuple[str, frozenset[int]]]:
+    """Rows for an Example 4 style relation ``R(x, Y)``."""
+    rng = random.Random(seed)
+    out = []
+    for i in range(n_rows):
+        members = frozenset(
+            rng.randrange(universe) for _ in range(set_width)
+        )
+        out.append((f"k{i}", members))
+    return out

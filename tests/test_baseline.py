@@ -1,0 +1,151 @@
+"""Tests for the mini-Prolog and the introduction's list library."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baseline import (
+    NIL,
+    ListSetBaseline,
+    PAtom,
+    PClause,
+    PrologEngine,
+    PStruct,
+    PVar,
+    from_pterm,
+    plist,
+    struct,
+)
+from repro.baseline.prolog import Bindings, unify
+
+X, Y, Z = PVar("X"), PVar("Y"), PVar("Z")
+
+
+class TestTerms:
+    def test_plist_round_trip(self):
+        t = plist([1, 2, "a"])
+        assert from_pterm(t) == [1, 2, "a"]
+
+    def test_empty_list(self):
+        assert from_pterm(NIL) == []
+
+    def test_struct_str(self):
+        assert str(struct("f", "a", 1)) == "f(a, 1)"
+        assert str(plist([1, 2])) == "[1, 2]"
+
+
+class TestUnify:
+    def test_var_binding(self):
+        b = Bindings()
+        assert unify(X, PAtom("a"), b)
+        assert b.walk(X) == PAtom("a")
+
+    def test_struct_unify(self):
+        b = Bindings()
+        assert unify(struct("f", X, "b"), struct("f", "a", Y), b)
+        assert b.walk(X) == PAtom("a")
+        assert b.walk(Y) == PAtom("b")
+
+    def test_clash(self):
+        b = Bindings()
+        assert not unify(struct("f", "a"), struct("f", "b"), b)
+
+    def test_trail_undo(self):
+        b = Bindings()
+        mark = b.mark()
+        unify(X, PAtom("a"), b)
+        b.undo(mark)
+        assert b.walk(X) == X
+
+    def test_occurs_check_optional(self):
+        b = Bindings()
+        assert not unify(X, struct("f", X), b, occurs_check=True)
+
+
+class TestEngine:
+    def test_facts_and_rules(self):
+        clauses = [
+            PClause(struct("e", "a", "b")),
+            PClause(struct("e", "b", "c")),
+            PClause(struct("t", X, Y), (struct("e", X, Y),)),
+            PClause(struct("t", X, Z), (struct("e", X, Y), struct("t", Y, Z))),
+        ]
+        eng = PrologEngine(clauses)
+        assert eng.holds(struct("t", "a", "c"))
+        assert not eng.holds(struct("t", "c", "a"))
+        assert eng.count(struct("t", X, Y)) == 3
+
+    def test_arithmetic(self):
+        eng = PrologEngine([])
+        (ans,) = list(eng.solve(struct("is", X, PStruct("+", (PAtom(2), PAtom(3))))))
+        assert from_pterm(ans["X"]) == 5
+
+    def test_comparison_builtins(self):
+        eng = PrologEngine([])
+        assert eng.holds(struct("<", 1, 2))
+        assert not eng.holds(struct("<", 2, 1))
+        assert eng.holds(struct("\\=", "a", "b"))
+
+
+class TestListLibrary:
+    """The paper's introduction, behaviourally."""
+
+    def setup_method(self):
+        self.lib = ListSetBaseline()
+
+    def test_member(self):
+        assert self.lib.member(2, [1, 2, 3])
+        assert not self.lib.member(9, [1, 2, 3])
+        assert not self.lib.member(1, [])
+
+    def test_disj(self):
+        assert self.lib.disjoint([1, 2], [3, 4])
+        assert not self.lib.disjoint([1, 2], [2, 3])
+        assert self.lib.disjoint([], [1])
+        assert self.lib.disjoint([], [])
+
+    def test_subset(self):
+        assert self.lib.subset([1], [1, 2])
+        assert self.lib.subset([], [1])
+        assert not self.lib.subset([1, 9], [1, 2])
+
+    def test_union(self):
+        assert sorted(self.lib.union([1, 2], [2, 3])) == [1, 2, 3]
+        assert self.lib.union([], []) == []
+
+    def test_sumlist(self):
+        assert self.lib.sumlist([1, 2, 3]) == 6
+        assert self.lib.sumlist([]) == 0
+
+
+# -- agreement with the LPS engine (the introduction's motivating claim:
+# same semantics, different programming styles) ------------------------------
+
+small_sets = st.frozensets(st.integers(0, 5), max_size=4)
+
+
+@settings(max_examples=30, deadline=None)
+@given(s1=small_sets, s2=small_sets)
+def test_disj_agreement_with_lps(s1, s2):
+    lib = ListSetBaseline()
+    prolog_answer = lib.disjoint(sorted(s1), sorted(s2))
+    assert prolog_answer == s1.isdisjoint(s2)
+
+    from repro.core import Program, atom, clause, fact, setvalue, var_a, var_s
+    from repro.core import const
+    from repro.engine import solve
+
+    from repro.core import horn
+
+    x, y = var_a("x"), var_a("y")
+    X, Y = var_s("X"), var_s("Y")
+    sv1 = setvalue([const(i) for i in s1])
+    sv2 = setvalue([const(i) for i in s2])
+    p = Program.of(
+        fact(atom("s1", sv1)),
+        fact(atom("s2", sv2)),
+        clause(atom("disj", X, Y), [(x, X), (y, Y)], [atom("neq", x, y)]),
+        horn(atom("ok"), atom("s1", X), atom("s2", Y), atom("disj", X, Y)),
+    )
+    lps_answer = solve(p).holds(atom("ok"))
+    assert lps_answer == s1.isdisjoint(s2)
+    assert lps_answer == prolog_answer

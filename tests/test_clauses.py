@@ -1,0 +1,189 @@
+"""Tests for LPS clauses, Lemma 4 grounding, rules and grouping clauses."""
+
+import pytest
+
+from repro.core import (
+    Atom,
+    ClauseError,
+    GroupingClause,
+    LPSClause,
+    Rule,
+    Subst,
+    atom,
+    clause,
+    const,
+    equals,
+    fact,
+    horn,
+    member,
+    mkset,
+    neg,
+    pos,
+    setvalue,
+    var_a,
+    var_s,
+)
+from repro.core.formulas import AndF, ForallIn, evaluate
+
+x, y = var_a("x"), var_a("y")
+X, Y = var_s("X"), var_s("Y")
+a, b, c = const("a"), const("b"), const("c")
+
+
+class TestClauseValidation:
+    def test_special_head_rejected(self):
+        """Definition 5: the head must be non-special."""
+        with pytest.raises(ClauseError):
+            horn(equals(x, x))
+        with pytest.raises(ClauseError):
+            horn(member(x, X))
+
+    def test_quantifier_binds_sort_a(self):
+        with pytest.raises(ClauseError):
+            clause(atom("p", X), [(Y, X)], [])
+
+    def test_quantifier_range_must_be_set(self):
+        from repro.core import SortError
+
+        with pytest.raises(SortError):
+            clause(atom("p", X), [(x, y)], [])
+
+    def test_fact_must_be_ground(self):
+        with pytest.raises(ClauseError):
+            fact(atom("p", x))
+
+    def test_core_check_rejects_negation(self):
+        c = horn(atom("p", a), neg(atom("q", a)))
+        with pytest.raises(ClauseError):
+            c.check_core()
+
+    def test_horn_is_special_case(self):
+        """Definition 5: n = 0 gives an ordinary Horn clause."""
+        c = horn(atom("p", x), atom("q", x))
+        assert c.is_horn and not c.is_fact
+
+
+class TestFreeVars:
+    def test_quantified_vars_not_free(self):
+        c = clause(atom("disj", X, Y), [(x, X), (y, Y)], [atom("p", x, y)])
+        assert c.free_vars() == {X, Y}
+        assert c.quantified_vars() == {x, y}
+
+    def test_body_only_vars_are_free(self):
+        c = horn(atom("p", x), atom("q", x, y))
+        assert c.free_vars() == {x, y}
+
+
+class TestLemma4:
+    """Every ground instance of an LPS clause is a ground Horn clause."""
+
+    def test_expansion_over_product(self):
+        cl = clause(
+            atom("disj", X, Y), [(x, X), (y, Y)], [atom("neq", x, y)]
+        )
+        g = cl.ground_instances(
+            Subst({X: setvalue([a, b]), Y: setvalue([c])})
+        )
+        assert g.head == atom("disj", setvalue([a, b]), setvalue([c]))
+        bodies = {str(l.atom) for l in g.body}
+        assert bodies == {"neq(a, c)", "neq(b, c)"}
+
+    def test_empty_set_gives_empty_body(self):
+        """(∀x ∈ ∅)B unfolds to the empty (true) conjunction."""
+        c = clause(atom("p", X), [(x, X)], [atom("q", x)])
+        g = c.ground_instances(Subst({X: setvalue([])}))
+        assert g.body == ()
+
+    def test_multiplicity(self):
+        c = clause(
+            atom("p", X, Y), [(x, X), (y, Y)], [atom("r", x, y)]
+        )
+        g = c.ground_instances(
+            Subst({X: setvalue([a, b]), Y: setvalue([a, b])})
+        )
+        assert len(g.body) == 4
+
+    def test_grounding_requires_full_substitution(self):
+        c = clause(atom("p", X), [(x, X)], [atom("q", x, y)])
+        with pytest.raises(ClauseError):
+            c.ground_instances(Subst({X: setvalue([a])}))
+
+    def test_equivalence_with_formula_semantics(self):
+        """The Horn expansion and the quantified formula agree on truth."""
+        c = clause(atom("p", X), [(x, X)], [atom("q", x)])
+        theta = Subst({X: setvalue([a, b])})
+        g = c.ground_instances(theta)
+        for truth in [set(), {atom("q", a)}, {atom("q", a), atom("q", b)}]:
+            oracle = lambda at: at in truth
+            horn_truth = all(
+                evaluate(AndF((y,)), oracle) if False else (l.atom in truth)
+                for l in g.body
+            )
+            formula_truth = evaluate(
+                c.body_formula().substitute(theta), oracle
+            )
+            assert horn_truth == formula_truth
+
+
+class TestSubstitution:
+    def test_capture_avoidance(self):
+        c = clause(atom("p", X), [(x, X)], [atom("q", x)])
+        c2 = c.substitute(Subst({x: a}))
+        # The quantified x must not be touched.
+        assert c2 == c
+
+    def test_substitute_free(self):
+        c = clause(atom("p", X), [(x, X)], [atom("q", x)])
+        c2 = c.substitute(Subst({X: setvalue([a])}))
+        assert c2.head == atom("p", setvalue([a]))
+        assert c2.quantifiers[0][1] == setvalue([a])
+
+
+class TestRule:
+    def test_rule_special_head_rejected(self):
+        with pytest.raises(ClauseError):
+            Rule(head=equals(a, a))
+
+    def test_rule_positive_detection(self):
+        from repro.core.formulas import NotF, atomf
+
+        assert Rule(atom("p", a), atomf(atom("q", a))).is_positive()
+        assert not Rule(atom("p", a), NotF(atomf(atom("q", a)))).is_positive()
+
+
+class TestGroupingClause:
+    def test_basic_construction(self):
+        g = GroupingClause(
+            pred="bom",
+            head_args=(x,),
+            group_pos=1,
+            group_var=y,
+            body=(pos(atom("component", x, y)),),
+        )
+        assert "bom(x, <y>)" in str(g)
+
+    def test_group_var_not_set_sorted(self):
+        with pytest.raises(ClauseError):
+            GroupingClause(
+                pred="g", head_args=(), group_pos=0, group_var=X, body=()
+            )
+
+    def test_group_var_not_in_plain_args(self):
+        with pytest.raises(ClauseError):
+            GroupingClause(
+                pred="g",
+                head_args=(y,),
+                group_pos=0,
+                group_var=y,
+                body=(pos(atom("p", y)),),
+            )
+
+    def test_free_vars(self):
+        g = GroupingClause(
+            pred="g",
+            head_args=(x,),
+            group_pos=1,
+            group_var=y,
+            body=(pos(atom("p", x, y)),),
+        )
+        assert g.free_vars() == {x, y}

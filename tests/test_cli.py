@@ -1,0 +1,77 @@
+"""Tests for the ``lps`` command-line front end."""
+
+import pytest
+
+from repro.repl.cli import main
+
+
+@pytest.fixture()
+def program_file(tmp_path):
+    path = tmp_path / "prog.lps"
+    path.write_text(
+        "edge(a, b). edge(b, c).\n"
+        "path(X, Y) :- edge(X, Y).\n"
+        "path(X, Z) :- edge(X, Y), path(Y, Z).\n"
+    )
+    return str(path)
+
+
+class TestRun:
+    def test_run_prints_model(self, program_file, capsys):
+        assert main(["run", program_file]) == 0
+        out = capsys.readouterr().out
+        assert "path(a, c)." in out
+        assert "edge(a, b)." in out
+
+    def test_run_parse_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.lps"
+        bad.write_text("p(a")
+        assert main(["run", str(bad)]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestQuery:
+    def test_query_bindings(self, program_file, capsys):
+        assert main(["query", program_file, "path(a, W)"]) == 0
+        out = capsys.readouterr().out
+        assert "W = b" in out and "W = c" in out
+
+    def test_query_ground_true(self, program_file, capsys):
+        main(["query", program_file, "path(a, c)"])
+        assert "true" in capsys.readouterr().out
+
+    def test_query_false(self, program_file, capsys):
+        main(["query", program_file, "path(c, a)"])
+        assert "false" in capsys.readouterr().out
+
+    def test_query_with_sets(self, tmp_path, capsys):
+        path = tmp_path / "sets.lps"
+        path.write_text(
+            "s({1, 2}). s({3}).\n"
+            "disj(X, Y) :- s(X), s(Y), "
+            "forall A in X (forall B in Y (A != B)).\n"
+        )
+        main(["query", str(path), "disj({1, 2}, {3})"])
+        assert "true" in capsys.readouterr().out
+
+
+class TestRepl:
+    def test_repl_session(self, monkeypatch, capsys):
+        lines = iter([
+            "p(a).",
+            "q(X) :- p(X).",
+            "?- q(a).",
+            ":model",
+            ":quit",
+        ])
+        monkeypatch.setattr("builtins.input", lambda prompt="": next(lines))
+        assert main(["repl"]) == 0
+        out = capsys.readouterr().out
+        assert "true" in out
+        assert "q(a)." in out
+
+    def test_repl_reports_errors(self, monkeypatch, capsys):
+        lines = iter(["p(a", ":quit"])
+        monkeypatch.setattr("builtins.input", lambda prompt="": next(lines))
+        assert main(["repl"]) == 0
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,84 @@
+"""Tests for the Database and Python-value conversion layer."""
+
+import pytest
+
+from repro.core import App, Const, EvaluationError, SetValue, setvalue, var_a
+from repro.engine import Database, from_term, to_term
+
+
+class TestConversion:
+    def test_scalars(self):
+        assert to_term("a") == Const("a")
+        assert to_term(7) == Const(7)
+        assert from_term(Const("a")) == "a"
+        assert from_term(Const(7)) == 7
+
+    def test_bool(self):
+        assert to_term(True) == Const("true")
+
+    def test_sets(self):
+        t = to_term({1, 2})
+        assert isinstance(t, SetValue)
+        assert from_term(t) == frozenset({1, 2})
+
+    def test_nested_sets(self):
+        t = to_term(frozenset({frozenset({1})}))
+        assert from_term(t) == frozenset({frozenset({1})})
+
+    def test_lists_become_sets(self):
+        assert from_term(to_term([1, 1, 2])) == frozenset({1, 2})
+
+    def test_terms_pass_through(self):
+        c = Const("x")
+        assert to_term(c) is c
+
+    def test_non_ground_term_rejected(self):
+        with pytest.raises(EvaluationError):
+            to_term(var_a("x"))
+
+    def test_unconvertible(self):
+        with pytest.raises(EvaluationError):
+            to_term(object())
+
+    def test_app_to_python(self):
+        from repro.core import app
+
+        assert from_term(app("f", Const("a"))) == ("f", "a")
+
+
+class TestDatabase:
+    def test_add_and_relation(self):
+        db = Database()
+        db.add("e", "a", "b")
+        db.add("e", "a", "c")
+        assert db.relation("e") == {("a", "b"), ("a", "c")}
+        assert len(db) == 2
+
+    def test_extend(self):
+        db = Database()
+        db.extend("s", [({"x", "y"},), ({"z"},)])
+        assert len(db.relation("s")) == 2
+
+    def test_from_mapping(self):
+        db = Database.from_mapping({"e": [("a", "b")], "n": [("a",)]})
+        assert db.predicates() == {"e", "n"}
+
+    def test_as_program(self):
+        db = Database()
+        db.add("p", "a")
+        program = db.as_program()
+        assert len(program.clauses) == 1
+        assert program.clauses[0].is_fact
+
+    def test_non_ground_atom_rejected(self):
+        from repro.core import atom
+
+        db = Database()
+        with pytest.raises(EvaluationError):
+            db.add_atom(atom("p", var_a("x")))
+
+    def test_dedup(self):
+        db = Database()
+        db.add("p", "a")
+        db.add("p", "a")
+        assert len(db) == 1

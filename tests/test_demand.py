@@ -1,0 +1,121 @@
+"""Tests for the demand (magic-sets-lite) transformation."""
+
+import pytest
+
+from repro import parse_program
+from repro.core import ClauseError, Program, atom, const, fact, setvalue
+from repro.engine import Database, Evaluator
+from repro.engine.setops import with_set_builtins
+from repro.transform.demand import add_demand, demanded_sum_program
+
+
+def run(program, db=None):
+    return Evaluator(program, db, builtins=with_set_builtins()).run()
+
+
+class TestAddDemand:
+    def base(self) -> Program:
+        return parse_program("""
+            sum({}, 0).
+            sum(Z, K) :- choose_min(X, Y, Z), sum(Y, M), M + X = K.
+            total(K) :- target(Z), sum(Z, K).
+        """)
+
+    def test_guard_added_to_defining_clauses(self):
+        program, need = add_demand(self.base(), "sum", 0,
+                                   seeds=["target"])
+        sum_clauses = [c for c in program.lps_clauses()
+                       if c.head.pred == "sum"]
+        for c in sum_clauses:
+            assert any(l.atom.pred == need for l in c.body)
+
+    def test_demand_rules_generated(self):
+        program, need = add_demand(self.base(), "sum", 0, seeds=["target"])
+        need_rules = [c for c in program.lps_clauses()
+                      if c.head.pred == need and not c.is_fact]
+        # one from the recursive occurrence, one from total/1's body,
+        # one from the seed predicate.
+        assert len(need_rules) >= 3
+
+    def test_sum_runs_and_is_correct(self):
+        program, _ = add_demand(self.base(), "sum", 0, seeds=["target"])
+        db = Database()
+        db.add("target", frozenset({3, 5, 9, 11}))
+        m = run(program, db)
+        assert m.relation("total") == {(28,),}
+
+    def test_matches_handwritten_need(self):
+        handwritten = parse_program("""
+            need(Z) :- target(Z).
+            need(Y) :- need(Z), choose_min(X, Y, Z).
+            sum({}, 0).
+            sum(Z, K) :- need(Z), choose_min(X, Y, Z), sum(Y, M), M + X = K.
+            total(K) :- target(Z), sum(Z, K).
+        """)
+        generated, _ = add_demand(self.base(), "sum", 0, seeds=["target"])
+        db = Database()
+        db.add("target", frozenset({1, 2, 4}))
+        m1, m2 = run(handwritten, db), run(generated, db)
+        assert m1.relation("total") == m2.relation("total") == {(7,)}
+
+    def test_only_demanded_sets_computed(self):
+        """The point of the transformation: sum/2 stays linear in |target|,
+        not exponential in the powerset."""
+        program, _ = add_demand(self.base(), "sum", 0, seeds=["target"])
+        db = Database()
+        target = frozenset(range(10))
+        db.add("target", target)
+        m = run(program, db)
+        # One sum fact per suffix subset of the canonical decomposition
+        # chain: |target| + 1 of them.
+        assert len(m.relation("sum")) == len(target) + 1
+
+    def test_ground_seed_terms(self):
+        program, need = add_demand(
+            self.base(), "sum", 0,
+            seeds=[setvalue([const(2), const(4)])],
+        )
+        m = run(program)
+        assert (frozenset({2, 4}), 6) in m.relation("sum")
+
+    def test_unknown_predicate_rejected(self):
+        with pytest.raises(ClauseError):
+            add_demand(self.base(), "nope", 0)
+
+    def test_bad_position_rejected(self):
+        with pytest.raises(ClauseError):
+            add_demand(self.base(), "sum", 5)
+
+    def test_non_ground_seed_rejected(self):
+        from repro.core import var_s
+
+        with pytest.raises(ClauseError):
+            add_demand(self.base(), "sum", 0, seeds=[var_s("X")])
+
+    def test_quantified_position_rejected(self):
+        program = parse_program("""
+            p({}, 0).
+            weird(S) :- q(S), forall A in S (p(S, A)).
+        """)
+        # Demanding p's FIRST argument is fine (S is free)…
+        add_demand(program, "p", 0, seeds=[])
+        # …demanding the second (quantified A) is not.
+        with pytest.raises(ClauseError):
+            add_demand(program, "p", 1, seeds=[])
+
+
+class TestPackagedSum:
+    def test_demanded_sum_program(self):
+        program = demanded_sum_program()
+        db = Database()
+        db.add("target", frozenset({10, 20, 30}))
+        m = run(program, db)
+        assert m.relation("total") == {(60,)}
+
+    def test_multiple_targets(self):
+        program = demanded_sum_program()
+        db = Database()
+        db.add("target", frozenset({1}))
+        db.add("target", frozenset({2, 3}))
+        m = run(program, db)
+        assert m.relation("total") == {(1,), (5,)}

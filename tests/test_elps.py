@@ -1,0 +1,149 @@
+"""Section 5 / Theorem 9: ELPS — arbitrarily nested finite sets.
+
+ELPS drops the two-sorted typing: the Herbrand universe (Definition 13)
+closes atoms under finite subsets at every depth, function symbols still
+produce atoms only, and the minimal-model/fixpoint results carry over.
+"""
+
+import pytest
+
+from repro.core import (
+    MODE_ELPS,
+    Program,
+    SortError,
+    atom,
+    clause,
+    const,
+    fact,
+    horn,
+    member,
+    pos,
+    setvalue,
+    var_u,
+)
+from repro.engine import Evaluator, solve
+from repro.lang import parse_program
+from repro.semantics import Universe, least_fixpoint, nested_set_values
+
+a, b = const("a"), const("b")
+U, V, W = var_u("U"), var_u("V"), var_u("W")
+
+
+def nested(x):
+    return setvalue([x])
+
+
+class TestNestedValues:
+    def test_depth2_value(self):
+        v = setvalue([setvalue([a]), b])
+        assert v.is_ground()
+        from repro.core import nesting_depth
+
+        assert nesting_depth(v) == 2
+
+    def test_lps_mode_rejects_depth2(self):
+        p = Program.of(fact(atom("p", nested(nested(a)))))
+        with pytest.raises(SortError):
+            p.validate()
+
+    def test_elps_mode_accepts(self):
+        p = Program.of(fact(atom("p", nested(nested(a)))), mode=MODE_ELPS)
+        p.validate()
+
+    def test_function_range_still_atoms(self):
+        """Even in ELPS, function symbols map into atoms (Section 5's
+        requirement keeping Herbrand models intact — Example 8)."""
+        from repro.core import app
+
+        with pytest.raises(SortError):
+            app("f", setvalue([a]))
+
+
+class TestUntypedVariables:
+    def test_untyped_var_ranges_over_everything(self):
+        p = Program.of(
+            fact(atom("thing", a)),
+            fact(atom("thing", nested(a))),
+            fact(atom("thing", nested(nested(a)))),
+            horn(atom("copy", U), atom("thing", U)),
+            mode=MODE_ELPS,
+        )
+        m = solve(p)
+        assert len(m.relation("copy")) == 3
+
+    def test_membership_at_depth(self):
+        p = Program.of(
+            fact(atom("deep", setvalue([nested(a), b]))),
+            horn(atom("elem", U), atom("deep", V), member(U, V)),
+            mode=MODE_ELPS,
+        )
+        m = solve(p)
+        rel = m.relation("elem")
+        assert (frozenset({"a"}),) in rel
+        assert ("b",) in rel
+
+    def test_quantifier_over_nested_set(self):
+        p = Program.of(
+            fact(atom("fam", setvalue([setvalue([a]), setvalue([a, b])]))),
+            clause(
+                atom("all_contain_a", U),
+                [(var_u("m"), U)],
+                [atom("fam", U), member(a, var_u("m"))],
+            ),
+            mode=MODE_ELPS,
+        )
+        m = solve(p)
+        fam = setvalue([setvalue([a]), setvalue([a, b])])
+        assert m.holds(atom("all_contain_a", fam))
+
+
+class TestTheorem9:
+    def test_fixpoint_equals_minimal_model_nested(self):
+        """Theorem 9: M_P = lfp(T_P) with a nested-set universe."""
+        p = Program.of(
+            fact(atom("p", nested(a))),
+            horn(atom("q", U), atom("p", U)),
+            mode=MODE_ELPS,
+        )
+        atoms = [a]
+        sets = nested_set_values(atoms, depth=2, max_size=1)
+        universe = Universe((a,), tuple(sets))
+        result = least_fixpoint(p, universe)
+        m = result.interpretation
+        assert m.holds(atom("q", nested(a)))
+        assert m.satisfies_program(p, universe)
+
+    def test_vacuous_quantification_at_depth(self):
+        p = Program.of(
+            fact(atom("s", setvalue([]))),
+            clause(atom("allq", U), [(var_u("m"), U)],
+                   [atom("s", U), atom("q", var_u("m"))], ),
+            mode=MODE_ELPS,
+        )
+        m = solve(p)
+        assert m.holds(atom("allq", setvalue([])))
+
+
+class TestElpsParsing:
+    def test_parse_nested_program(self):
+        p = parse_program("""
+            #elps
+            family({{a}, {a, b}}).
+            member_set(M) :- family(F), M in F.
+        """)
+        m = solve(p)
+        assert (frozenset({"a"}),) in m.relation("member_set")
+        assert (frozenset({"a", "b"}),) in m.relation("member_set")
+
+    def test_elps_powerset_iteration(self):
+        """Nested grouping: collect the sets that contain a given atom."""
+        p = parse_program("""
+            #elps
+            s({a, b}). s({a}). s({c}).
+            holds_a(S) :- s(S), a in S.
+            witness(<S>) :- holds_a(S).
+        """)
+        m = solve(p)
+        assert m.relation("witness") == {
+            (frozenset({frozenset({"a", "b"}), frozenset({"a"})}),)
+        }

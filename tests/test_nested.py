@@ -1,0 +1,215 @@
+"""Tests for the nested-relation substrate and its LPS bridge (Example 4)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine import Evaluator, solve
+from repro.nested import (
+    ATOMIC,
+    SETOF,
+    Attribute,
+    NestedRelation,
+    Schema,
+    SchemaError,
+    difference,
+    natural_join,
+    nest,
+    nest_program,
+    project,
+    relation_from_model,
+    relation_to_database,
+    rename,
+    select,
+    union,
+    unnest,
+    unnest_program,
+)
+
+
+def parts_relation() -> NestedRelation:
+    r = NestedRelation(Schema.of("part", "comps*"))
+    r.insert("bike", {"frame", "wheel"})
+    r.insert("cart", {"wheel", "board"})
+    r.insert("brick", set())
+    return r
+
+
+class TestSchema:
+    def test_of_parses_star(self):
+        s = Schema.of("a", "b*")
+        assert s.attribute("a").kind == ATOMIC
+        assert s.attribute("b").kind == SETOF
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema.of("a", "a")
+
+    def test_unknown_attribute(self):
+        with pytest.raises(SchemaError):
+            Schema.of("a").index_of("z")
+
+    def test_project_and_drop(self):
+        s = Schema.of("a", "b*", "c")
+        assert s.project(["c", "a"]).names() == ("c", "a")
+        assert s.drop("b").names() == ("a", "c")
+
+    def test_is_flat(self):
+        assert Schema.of("a", "b").is_flat()
+        assert not Schema.of("a", "b*").is_flat()
+
+
+class TestRelation:
+    def test_insert_checks_kinds(self):
+        r = NestedRelation(Schema.of("a", "b*"))
+        r.insert("x", {"p"})
+        with pytest.raises(SchemaError):
+            r.insert({"x"}, {"p"})
+        with pytest.raises(SchemaError):
+            r.insert("x", "p")
+
+    def test_nested_sets_rejected(self):
+        r = NestedRelation(Schema.of("b*"))
+        with pytest.raises(SchemaError):
+            r.insert({frozenset({"a"})})
+
+    def test_dedup(self):
+        r = NestedRelation(Schema.of("a"))
+        r.insert("x")
+        r.insert("x")
+        assert len(r) == 1
+
+    def test_arity_check(self):
+        r = NestedRelation(Schema.of("a", "b"))
+        with pytest.raises(SchemaError):
+            r.insert("x")
+
+
+class TestClassicalOperators:
+    def test_select(self):
+        r = parts_relation()
+        out = select(r, lambda row: "wheel" in row["comps"])
+        assert len(out) == 2
+
+    def test_project(self):
+        out = project(parts_relation(), ["part"])
+        assert out.rows() == frozenset({("bike",), ("cart",), ("brick",)})
+
+    def test_rename(self):
+        out = rename(parts_relation(), {"part": "object"})
+        assert "object" in out.schema.names()
+
+    def test_union_difference(self):
+        r1, r2 = parts_relation(), parts_relation()
+        assert union(r1, r2) == r1
+        assert len(difference(r1, r2)) == 0
+
+    def test_join_on_atomic(self):
+        r = parts_relation()
+        prices = NestedRelation(Schema.of("part", "price"))
+        prices.insert("bike", 100)
+        joined = natural_join(r, prices)
+        assert len(joined) == 1
+        assert joined.schema.names() == ("part", "comps", "price")
+
+    def test_join_kind_conflict(self):
+        r1 = NestedRelation(Schema.of("a*"))
+        r2 = NestedRelation(Schema.of("a"))
+        with pytest.raises(SchemaError):
+            natural_join(r1, r2)
+
+
+class TestNestUnnest:
+    def test_unnest(self):
+        out = unnest(parts_relation(), "comps")
+        assert ("bike", "wheel") in out.rows()
+        assert out.schema.attribute("comps").kind == ATOMIC
+
+    def test_unnest_drops_empty_sets(self):
+        out = unnest(parts_relation(), "comps")
+        assert not any(row[0] == "brick" for row in out)
+
+    def test_unnest_requires_set_attribute(self):
+        with pytest.raises(SchemaError):
+            unnest(parts_relation(), "part")
+
+    def test_nest_groups(self):
+        flat = NestedRelation(Schema.of("k", "v"))
+        flat.extend([("a", 1), ("a", 2), ("b", 1)])
+        out = nest(flat, "v")
+        assert out.rows() == frozenset({
+            ("a", frozenset({1, 2})), ("b", frozenset({1})),
+        })
+
+    def test_unnest_nest_identity_without_empty_sets(self):
+        r = NestedRelation(Schema.of("part", "comps*"))
+        r.insert("bike", {"frame", "wheel"})
+        r.insert("cart", {"board"})
+        assert nest(unnest(r, "comps"), "comps") == r
+
+    def test_nest_unnest_identity_on_flat(self):
+        flat = NestedRelation(Schema.of("k", "v"))
+        flat.extend([("a", 1), ("a", 2), ("b", 1)])
+        assert unnest(nest(flat, "v"), "v") == flat
+
+    def test_classical_information_loss(self):
+        """nest(unnest(R)) loses rows with empty sets — the classical
+        caveat, pinned as a test."""
+        r = parts_relation()
+        back = nest(unnest(r, "comps"), "comps")
+        assert back != r
+        assert len(back) == len(r) - 1
+
+
+class TestBridge:
+    def test_unnest_program_matches_algebra(self):
+        """Example 4: the LPS rule and the algebra operator agree."""
+        r = parts_relation()
+        schema = r.schema
+        db = relation_to_database(r, "r")
+        program = unnest_program(schema, "comps", "r", "s")
+        m = Evaluator(program, db).run()
+        via_rule = relation_from_model(
+            m, "s", schema.with_kind("comps", ATOMIC)
+        )
+        assert via_rule == unnest(r, "comps")
+
+    def test_nest_program_matches_algebra(self):
+        flat = NestedRelation(Schema.of("k", "v"))
+        flat.extend([("a", 1), ("a", 2), ("b", 1)])
+        db = relation_to_database(flat, "f")
+        program = nest_program(flat.schema, "v", "f", "g")
+        m = Evaluator(program, db).run()
+        via_rule = relation_from_model(
+            m, "g", flat.schema.with_kind("v", SETOF)
+        )
+        assert via_rule == nest(flat, "v")
+
+
+# -- property: nest/unnest laws on random relations --------------------------
+
+values = st.sampled_from(["u", "v", "w", 1, 2])
+
+
+@st.composite
+def flat_relations(draw):
+    rows = draw(st.lists(
+        st.tuples(st.sampled_from(["a", "b", "c"]), values), max_size=8
+    ))
+    r = NestedRelation(Schema.of("k", "v"))
+    r.extend(rows)
+    return r
+
+
+@settings(max_examples=40, deadline=None)
+@given(r=flat_relations())
+def test_unnest_nest_identity_property(r):
+    assert unnest(nest(r, "v"), "v") == r
+
+
+@settings(max_examples=40, deadline=None)
+@given(r=flat_relations())
+def test_nest_key_functional(r):
+    """After nesting, the grouped attribute is functionally determined."""
+    nested = nest(r, "v")
+    keys = [row[0] for row in nested]
+    assert len(keys) == len(set(keys))

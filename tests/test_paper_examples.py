@@ -1,0 +1,217 @@
+"""End-to-end reproduction of the paper's Examples 1–6 (and Example 9),
+written in the concrete syntax and run on the engine.
+
+Experiment index: E1 (Examples 1–3), E2 (Example 4), E3 (Example 5),
+E4 (Example 6) in DESIGN.md / EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro import parse_program, solve
+from repro.engine import Evaluator
+from repro.engine.evaluation import EvalOptions
+from repro.engine.setops import with_set_builtins
+from repro.workloads import parts_database, parts_world
+
+
+def run(source, **opts):
+    program = parse_program(source)
+    options = EvalOptions(**opts) if opts else EvalOptions()
+    return Evaluator(program, builtins=with_set_builtins(),
+                     options=options).run()
+
+
+class TestExample1Disj:
+    """disj(X, Y) :- (∀x∈X)(∀y∈Y)(x ≠ y)."""
+
+    SOURCE = """
+        s({1, 2}). s({2, 3}). s({4, 5}). s({}).
+        disj(X, Y) :- forall A in X (forall B in Y (A != B)).
+    """
+
+    def test_disjointness(self):
+        m = run(self.SOURCE)
+        assert m.holds_str("disj({1, 2}, {4, 5})")
+        assert not m.holds_str("disj({1, 2}, {2, 3})")
+        assert not m.holds_str("disj({1, 2}, {1, 2})")
+
+    def test_empty_set_disjoint_from_everything(self):
+        m = run(self.SOURCE)
+        assert m.holds_str("disj({}, {})")
+        assert m.holds_str("disj({}, {1, 2})")
+        assert m.holds_str("disj({1, 2}, {})")
+
+
+class TestExample2Subset:
+    """subset(X, Y) :- (∀x∈X)(x ∈ Y) — membership is primitive."""
+
+    SOURCE = """
+        s({1}). s({1, 2}). s({1, 2, 3}). s({4}).
+        subset(X, Y) :- forall A in X (A in Y).
+    """
+
+    def test_subset(self):
+        m = run(self.SOURCE)
+        assert m.holds_str("subset({1}, {1, 2})")
+        assert m.holds_str("subset({1, 2}, {1, 2, 3})")
+        assert not m.holds_str("subset({1, 2}, {1})")
+        assert not m.holds_str("subset({4}, {1, 2, 3})")
+
+    def test_reflexive_and_empty(self):
+        m = run(self.SOURCE)
+        assert m.holds_str("subset({1}, {1})")
+        assert m.holds_str("subset({}, {4})")
+
+
+class TestExample3Union:
+    """union(X,Y,Z) via subset + the disjunctive covering condition;
+    the disjunction is compiled away (Theorem 6) by the parser."""
+
+    SOURCE = """
+        s({1}). s({2}). s({1, 2}). s({}).
+        subset(X, Y) :- forall A in X (A in Y).
+        un(X, Y, Z) :- subset(X, Z), subset(Y, Z),
+                       forall C in Z (C in X or C in Y).
+    """
+
+    def test_union(self):
+        m = run(self.SOURCE)
+        assert m.holds_str("un({1}, {2}, {1, 2})")
+        assert m.holds_str("un({1}, {}, {1})")
+        assert m.holds_str("un({}, {}, {})")
+        assert not m.holds_str("un({1}, {2}, {1})")
+        assert not m.holds_str("un({1}, {2}, {2})")
+        assert not m.holds_str("un({1}, {1}, {1, 2})")
+
+    def test_union_is_functional_on_domain(self):
+        m = run(self.SOURCE)
+        rows = m.relation("un")
+        by_inputs = {}
+        for xx, yy, zz in rows:
+            by_inputs.setdefault((xx, yy), set()).add(zz)
+        for (xx, yy), zs in by_inputs.items():
+            assert zs == {xx | yy}
+
+
+class TestExample4Unnest:
+    """S(x, y) :- R(x, Y) ∧ y ∈ Y — the unnest of [JS82]."""
+
+    SOURCE = """
+        r(k1, {a, b}). r(k2, {c}). r(k3, {}).
+        s(X, E) :- r(X, Y), E in Y.
+    """
+
+    def test_unnest(self):
+        m = run(self.SOURCE)
+        assert m.relation("s") == {("k1", "a"), ("k1", "b"), ("k2", "c")}
+
+    def test_empty_sets_drop_out(self):
+        m = run(self.SOURCE)
+        assert not any(row[0] == "k3" for row in m.relation("s"))
+
+
+class TestExample5Sum:
+    """sum(Z, k) by recursive disjoint decomposition.
+
+    The paper's recursion admits any disjoint-union split; bottom-up we use
+    the deterministic ``choose_min`` decomposition plus a demand predicate
+    (see DESIGN.md) — same recursion, one canonical derivation per set.
+    """
+
+    SOURCE = """
+        target({3, 5, 9}).
+        need(Z) :- target(Z).
+        need(Y) :- need(Z), choose_min(X, Y, Z).
+        sum({}, 0).
+        sum(Z, K) :- need(Z), choose_min(X, Y, Z), sum(Y, M), M + X = K.
+        total(K) :- target(Z), sum(Z, K).
+    """
+
+    def test_sum(self):
+        m = run(self.SOURCE)
+        assert m.relation("total") == {(17,)}
+
+    def test_paper_formulation_on_small_set(self):
+        """The paper's exact disjoint-union recursion, evaluated with the
+        union builtin over materialised subsets (exponential — tiny set)."""
+        source = """
+            target({3, 5}).
+            cand(S) :- target(Z), subset_enum(S, Z).
+            disjoint(X, Y) :- cand(X), cand(Y),
+                              forall A in X (forall B in Y (A != B)).
+            dunion(X, Y, Z) :- cand(X), cand(Y), cand(Z),
+                               union(X, Y, Z), disjoint(X, Y).
+            sum({}, 0).
+            sum(S, 0) :- cand(S), S = {}.
+            sum(S, N) :- cand(S), S = {N}.
+            sum(Z, K) :- dunion(X, Y, Z), X != Z, Y != Z,
+                         sum(X, M), sum(Y, N), M + N = K.
+            total(K) :- target(Z), sum(Z, K).
+        """
+        m = run(source)
+        assert m.relation("total") == {(8,)}
+
+
+class TestExample6PartsExplosion:
+    """obj-cost via parts/cost — the cost roll-up of Example 6."""
+
+    SOURCE = """
+        parts(bike, {frame, wheelset}).
+        parts(wheelset, {front_wheel, rear_wheel}).
+        cost(frame, 100).
+        cost(front_wheel, 40).
+        cost(rear_wheel, 45).
+
+        item_cost(P, C) :- cost(P, C).
+        item_cost(P, C) :- obj_cost(P, C).
+
+        need(S) :- parts(P, S).
+        need(Y) :- need(Z), choose_min(X, Y, Z).
+
+        sum_costs({}, 0).
+        sum_costs(Z, K) :- need(Z), choose_min(P, Y, Z),
+                           item_cost(P, C), sum_costs(Y, M), M + C = K.
+        obj_cost(P, C) :- parts(P, S), sum_costs(S, C).
+    """
+
+    def test_cost_rollup(self):
+        m = run(self.SOURCE)
+        costs = dict(m.relation("obj_cost"))
+        assert costs["wheelset"] == 85
+        assert costs["bike"] == 185
+
+    def test_generated_hierarchy(self):
+        """Same program over a generated parts world; checked against the
+        analytically computed roll-up."""
+        world = parts_world(depth=3, fanout=2, seed=1)
+        db = parts_database(world)
+        rules = parse_program("""
+            item_cost(P, C) :- cost(P, C).
+            item_cost(P, C) :- obj_cost(P, C).
+            need(S) :- parts(P, S).
+            need(Y) :- need(Z), choose_min(X, Y, Z).
+            sum_costs({}, 0).
+            sum_costs(Z, K) :- need(Z), choose_min(P, Y, Z),
+                               item_cost(P, C), sum_costs(Y, M), M + C = K.
+            obj_cost(P, C) :- parts(P, S), sum_costs(S, C).
+        """)
+        m = Evaluator(rules, db, builtins=with_set_builtins()).run()
+        derived = dict(m.relation("obj_cost"))
+        for assembly in world.parts:
+            assert derived[assembly] == world.expected[assembly]
+
+
+class TestExample9UnionViaTheorem6:
+    """The general construction's output defines union (11 clauses in the
+    paper's faithful rendering); checked semantically in
+    test_positive_transform.py — here we check the parsed sugar agrees."""
+
+    def test_or_sugar_matches_aux_free_program(self):
+        source_sugar = """
+            s({1}). s({2}). s({1, 2}). s({}).
+            un(X, Y, Z) :- forall A in X (A in Z), forall B in Y (B in Z),
+                           forall C in Z (C in X or C in Y).
+        """
+        m = run(source_sugar)
+        assert m.holds_str("un({1}, {2}, {1, 2})")
+        assert not m.holds_str("un({1}, {2}, {2})")

@@ -1,0 +1,214 @@
+"""Tests for the lexer, parser and sort inference."""
+
+import pytest
+
+from repro.core import (
+    EMPTY_SET,
+    App,
+    Const,
+    GroupingClause,
+    LPSClause,
+    ParseError,
+    SetValue,
+    SortError,
+    Var,
+)
+from repro.core.sorts import SORT_A, SORT_S
+from repro.lang import parse_atom, parse_program, parse_term, tokenize
+
+
+class TestLexer:
+    def test_token_kinds(self):
+        toks = tokenize("p(X, a, 42) :- q. % comment\n")
+        kinds = [t.kind for t in toks]
+        assert kinds == ["IDENT", "PUNCT", "VARIABLE", "PUNCT", "IDENT",
+                         "PUNCT", "INT", "PUNCT", "PUNCT", "IDENT",
+                         "PUNCT", "EOF"]
+
+    def test_keywords(self):
+        toks = tokenize("forall exists in not or and true")
+        assert all(t.kind == "KEYWORD" for t in toks[:-1])
+
+    def test_directive(self):
+        toks = tokenize("#elps")
+        assert toks[0].kind == "DIRECTIVE" and toks[0].text == "elps"
+
+    def test_quoted_constant(self):
+        toks = tokenize("'Hello World'")
+        assert toks[0].kind == "STRING"
+
+    def test_unterminated_quote(self):
+        with pytest.raises(ParseError):
+            tokenize("'oops")
+
+    def test_positions(self):
+        toks = tokenize("p.\nq.")
+        assert toks[2].line == 2
+
+    def test_bad_character(self):
+        with pytest.raises(ParseError):
+            tokenize("p :- q @ r.")
+
+
+class TestTerms:
+    def test_constants(self):
+        assert parse_term("a") == Const("a")
+        assert parse_term("42") == Const(42)
+        assert parse_term("'weird name'") == Const("weird name")
+
+    def test_variable_untyped(self):
+        t = parse_term("Xs")
+        assert isinstance(t, Var) and t.sort == "u"
+
+    def test_function_term(self):
+        t = parse_term("f(a, g(b))")
+        assert t == App("f", (Const("a"), App("g", (Const("b"),))))
+
+    def test_set_term_canonical(self):
+        t = parse_term("{a, b, a}")
+        assert isinstance(t, SetValue) and len(t) == 2
+
+    def test_empty_set(self):
+        assert parse_term("{}") == EMPTY_SET
+
+    def test_function_of_set_rejected(self):
+        with pytest.raises(ParseError):
+            parse_term("f({a})")
+
+
+class TestAtoms:
+    def test_atom_with_set(self):
+        a = parse_atom("disj({1, 2}, {3})")
+        assert a.pred == "disj"
+        assert isinstance(a.args[0], SetValue)
+
+    def test_propositional_atom(self):
+        assert parse_atom("go").pred == "go"
+
+    def test_operators(self):
+        assert parse_atom("X = Y").pred == "="
+        assert parse_atom("X != Y").pred == "neq"
+        assert parse_atom("X in Y").pred == "in"
+        assert parse_atom("X < Y").pred == "lt"
+
+
+class TestPrograms:
+    def test_facts_and_rules(self):
+        p = parse_program("e(a, b). t(X, Y) :- e(X, Y).")
+        assert len(p.clauses) == 2
+        assert all(isinstance(c, LPSClause) for c in p.clauses)
+
+    def test_prefix_quantifiers_stay_native(self):
+        p = parse_program(
+            "disj(X, Y) :- forall A in X (forall B in Y (A != B))."
+        )
+        (c,) = p.clauses
+        assert isinstance(c, LPSClause)
+        assert len(c.quantifiers) == 2
+
+    def test_non_prefix_body_compiles_via_theorem6(self):
+        p = parse_program(
+            "p(X) :- q(X) or r(X)."
+        )
+        assert len(p.clauses) >= 3  # two aux clauses + the head clause
+        assert all(isinstance(c, LPSClause) for c in p.clauses)
+
+    def test_grouping_clause(self):
+        p = parse_program("bom(P, <C>) :- component(P, C).")
+        (g,) = p.clauses
+        assert isinstance(g, GroupingClause)
+        assert g.group_pos == 1
+
+    def test_grouping_requires_body(self):
+        with pytest.raises(ParseError):
+            parse_program("bom(P, <C>).")
+
+    def test_two_grouped_args_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("g(<A>, <B>) :- p(A, B).")
+
+    def test_arithmetic_sugar(self):
+        p = parse_program("s(K) :- n(M), n(N), M + N = K.")
+        (c,) = [c for c in p.clauses if c.head.pred == "s"]
+        body_preds = [l.atom.pred for l in c.body]
+        assert "plus" in body_preds
+
+    def test_nested_arithmetic_flattens(self):
+        p = parse_program("s(K) :- n(M), M + 2 * M = K.")
+        (c,) = [c for c in p.clauses if c.head.pred == "s"]
+        body_preds = [l.atom.pred for l in c.body]
+        assert "times" in body_preds and "plus" in body_preds
+
+    def test_negation(self):
+        p = parse_program("p(X) :- q(X), not r(X).")
+        (c,) = p.clauses
+        assert any(not l.positive for l in c.body)
+
+    def test_missing_period(self):
+        with pytest.raises(ParseError):
+            parse_program("p(a)")
+
+    def test_elps_directive(self):
+        p = parse_program("#elps\np({{a}}).")
+        assert p.mode == "elps"
+
+    def test_nested_set_rejected_in_lps(self):
+        with pytest.raises(SortError):
+            parse_program("p({{a}}).")
+
+    def test_semicolon_disjunction(self):
+        p = parse_program("p(X) :- q(X); r(X).")
+        heads = [c.head.pred for c in p.clauses]
+        assert heads.count("p") >= 1
+
+
+class TestSortInference:
+    def sorts_of(self, source, pred):
+        p = parse_program(source)
+        for c in p.lps_clauses():
+            if c.head.pred == pred:
+                return tuple(a.sort for a in c.head.args)
+        raise AssertionError(f"no clause for {pred}")
+
+    def test_membership_constrains(self):
+        assert self.sorts_of("p(X, Y) :- X in Y.", "p") == (SORT_A, SORT_S)
+
+    def test_quantifier_constrains(self):
+        src = "p(X) :- forall A in X (q(A))."
+        assert self.sorts_of(src, "p") == (SORT_S,)
+
+    def test_propagation_through_predicates(self):
+        src = """
+            base(S) :- E in S.
+            derived(T) :- base(T).
+        """
+        assert self.sorts_of(src, "derived") == (SORT_S,)
+
+    def test_equality_links_sides(self):
+        src = "p(X, Y) :- X = Y, E in X."
+        assert self.sorts_of(src, "p") == (SORT_S, SORT_S)
+
+    def test_builtin_signatures(self):
+        src = "p(X, N) :- card(X, N)."
+        assert self.sorts_of(src, "p") == (SORT_S, SORT_A)
+
+    def test_default_sort_is_a(self):
+        assert self.sorts_of("p(X) :- q(X).", "p") == (SORT_A,)
+
+    def test_conflict_detected(self):
+        with pytest.raises(SortError):
+            parse_program("p(X) :- X in X.")
+
+    def test_set_literal_constrains(self):
+        src = "p(X) :- X = {a}."
+        assert self.sorts_of(src, "p") == (SORT_S,)
+
+    def test_grouped_position_is_set_downstream(self):
+        src = """
+            bom(P, <C>) :- component(P, C).
+            big(P) :- bom(P, S), card(S, N), N > 2.
+        """
+        p = parse_program(src)
+        (big,) = [c for c in p.lps_clauses() if c.head.pred == "big"]
+        (bom_lit,) = [l for l in big.body if l.atom.pred == "bom"]
+        assert bom_lit.atom.args[1].sort == SORT_S

@@ -1,0 +1,169 @@
+"""Pretty-printer tests, including parse∘pretty round-trips."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    Program,
+    atom,
+    clause,
+    const,
+    fact,
+    horn,
+    member,
+    neg,
+    pos,
+    setvalue,
+    var_a,
+    var_s,
+)
+from repro.lang import parse_program
+from repro.lang.pretty import (
+    pretty_atom,
+    pretty_clause,
+    pretty_program,
+    pretty_term,
+)
+
+# NB: pretty-printed variables must start upper-case to re-parse as
+# variables, so round-trip tests use upper-case names of the right sort.
+X, Y = var_a("X"), var_a("Y")
+S, T = var_s("S"), var_s("T")
+a, b = const("a"), const("b")
+
+
+class TestTermPrinting:
+    def test_constants(self):
+        assert pretty_term(a) == "a"
+        assert pretty_term(const(7)) == "7"
+        assert pretty_term(const("Hello world")) == "'Hello world'"
+
+    def test_sets_sorted(self):
+        assert pretty_term(setvalue([const(2), const(1)])) == "{1, 2}"
+
+    def test_apps(self):
+        from repro.core import app
+
+        assert pretty_term(app("f", a, b)) == "f(a, b)"
+
+
+class TestAtomPrinting:
+    def test_operators(self):
+        from repro.core import equals
+
+        assert pretty_atom(equals(X, Y)) == "X = Y"
+        assert pretty_atom(member(X, S)) == "X in S"
+        assert pretty_atom(atom("neq", X, Y)) == "X != Y"
+        assert pretty_atom(atom("lt", X, Y)) == "X < Y"
+
+    def test_negated_operator_parenthesised(self):
+        from repro.core import equals
+        from repro.lang.pretty import pretty_literal
+
+        assert pretty_literal(neg(equals(X, Y))) == "not (X = Y)"
+        assert pretty_literal(neg(atom("p", X))) == "not p(X)"
+
+
+class TestClausePrinting:
+    def test_quantified_clause(self):
+        c = clause(atom("disj", S, T), [(X, S), (Y, T)],
+                   [atom("neq", X, Y)])
+        text = pretty_clause(c)
+        assert text == (
+            "disj(S, T) :- forall X in S (forall Y in T (X != Y))."
+        )
+
+    def test_grouping_clause(self):
+        from repro.core import GroupingClause
+
+        g = GroupingClause(
+            pred="bom", head_args=(X,), group_pos=1, group_var=Y,
+            body=(pos(atom("comp", X, Y)),),
+        )
+        assert pretty_clause(g) == "bom(X, <Y>) :- comp(X, Y)."
+
+
+class TestRoundTrip:
+    def round_trip(self, program: Program) -> Program:
+        return parse_program(pretty_program(program))
+
+    def assert_same_relations(self, p1: Program, p2: Program):
+        from repro.engine import solve
+
+        m1, m2 = solve(p1), solve(p2)
+        for pred in p1.predicates():
+            assert m1.relation(pred) == m2.relation(pred), pred
+
+    def test_horn_round_trip(self):
+        p = Program.of(
+            fact(atom("e", a, b)),
+            horn(atom("t", X, Y), atom("e", X, Y)),
+        )
+        self.assert_same_relations(p, self.round_trip(p))
+
+    def test_quantified_round_trip(self):
+        p = Program.of(
+            fact(atom("s", setvalue([a]))),
+            fact(atom("s", setvalue([b]))),
+            clause(atom("disj", S, T), [(X, S), (Y, T)],
+                   [atom("neq", X, Y)]),
+        )
+        self.assert_same_relations(p, self.round_trip(p))
+
+    def test_negation_round_trip(self):
+        p = Program.of(
+            fact(atom("q", a)),
+            fact(atom("n", a)),
+            fact(atom("n", b)),
+            horn(atom("p", X), pos(atom("n", X)), neg(atom("q", X))),
+        )
+        self.assert_same_relations(p, self.round_trip(p))
+
+    def test_grouping_round_trip(self):
+        from repro.core import GroupingClause
+
+        p = Program.of(
+            fact(atom("comp", a, b)),
+            GroupingClause(
+                pred="bom", head_args=(X,), group_pos=1, group_var=Y,
+                body=(pos(atom("comp", X, Y)),),
+            ),
+        )
+        self.assert_same_relations(p, self.round_trip(p))
+
+    def test_set_fact_round_trip(self):
+        p = Program.of(fact(atom("s", setvalue([a, b, const(3)]))))
+        self.assert_same_relations(p, self.round_trip(p))
+
+
+# -- property-based round-trip on generated programs -------------------------
+
+pred_names = st.sampled_from(["p", "q", "r"])
+const_terms = st.sampled_from([a, b, const(1), const(2)])
+
+
+@st.composite
+def simple_programs(draw):
+    clauses = []
+    for _ in range(draw(st.integers(1, 4))):
+        kind = draw(st.sampled_from(["fact", "set_fact", "rule"]))
+        if kind == "fact":
+            clauses.append(fact(atom(draw(pred_names), draw(const_terms))))
+        elif kind == "set_fact":
+            elems = draw(st.frozensets(const_terms, max_size=3))
+            clauses.append(fact(atom("s", setvalue(elems))))
+        else:
+            clauses.append(
+                horn(atom("h", X), atom(draw(pred_names), X))
+            )
+    return Program.of(*clauses)
+
+
+@settings(max_examples=30, deadline=None)
+@given(p=simple_programs())
+def test_round_trip_preserves_model(p):
+    from repro.engine import solve
+
+    q = parse_program(pretty_program(p))
+    m1, m2 = solve(p), solve(q)
+    assert m1.interpretation == m2.interpretation

@@ -1,0 +1,147 @@
+"""Tests for Program: validation, inventories, dependency edges, renaming."""
+
+import pytest
+
+from repro.core import (
+    ClauseError,
+    GroupingClause,
+    LPSClause,
+    MODE_ELPS,
+    MODE_LPS,
+    Program,
+    SortError,
+    app,
+    atom,
+    clause,
+    const,
+    fact,
+    horn,
+    neg,
+    pos,
+    rename_predicates,
+    setvalue,
+    var_a,
+    var_s,
+    var_u,
+)
+
+x, y = var_a("x"), var_a("y")
+X = var_s("X")
+a, b = const("a"), const("b")
+
+
+def simple_program() -> Program:
+    return Program.of(
+        fact(atom("edge", a, b)),
+        horn(atom("path", x, y), atom("edge", x, y)),
+        horn(atom("path", x, y), atom("edge", x, var_a("z")),
+             atom("path", var_a("z"), y)),
+    )
+
+
+class TestInventory:
+    def test_predicates(self):
+        p = simple_program()
+        assert p.predicates() == {"edge": 2, "path": 2}
+
+    def test_arity_conflict_detected(self):
+        p = Program.of(fact(atom("p", a)), fact(atom("p", a, b)))
+        with pytest.raises(ClauseError):
+            p.predicates()
+
+    def test_idb_and_facts(self):
+        p = simple_program()
+        assert p.idb_predicates() == {"path"}
+        assert {f.pred for f in p.facts()} == {"edge"}
+
+    def test_constants_and_sets(self):
+        p = Program.of(fact(atom("s", setvalue([a, b]))))
+        assert p.constants() == {a, b}
+        assert p.set_values() == {setvalue([a, b])}
+
+    def test_function_symbols(self):
+        p = Program.of(fact(atom("p", app("f", a))))
+        assert p.function_symbols() == {"f": 1}
+
+    def test_program_concatenation(self):
+        p1 = Program.of(fact(atom("p", a)))
+        p2 = Program.of(fact(atom("q", a)), mode=MODE_ELPS)
+        combined = p1 + p2
+        assert len(combined) == 2
+        assert combined.mode == MODE_ELPS
+
+
+class TestValidation:
+    def test_lps_rejects_nested_sets(self):
+        nested = setvalue([setvalue([a])])
+        p = Program.of(fact(atom("p", nested)))
+        with pytest.raises(SortError):
+            p.validate()
+
+    def test_elps_accepts_nested_sets(self):
+        nested = setvalue([setvalue([a])])
+        p = Program.of(fact(atom("p", nested)), mode=MODE_ELPS)
+        p.validate()
+
+    def test_lps_rejects_untyped_vars(self):
+        p = Program.of(horn(atom("p", var_u("u")), atom("q", var_u("u"))))
+        with pytest.raises(SortError):
+            p.validate()
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ClauseError):
+            Program((), mode="prolog")
+
+
+class TestDependencies:
+    def test_positive_edges(self):
+        p = simple_program()
+        edges = set(p.dependency_edges())
+        assert ("path", "edge", True) in edges
+        assert ("path", "path", True) in edges
+
+    def test_negative_edges(self):
+        p = Program.of(
+            horn(atom("p", x), pos(atom("q", x)), neg(atom("r", x))),
+        )
+        edges = set(p.dependency_edges())
+        assert ("p", "q", True) in edges
+        assert ("p", "r", False) in edges
+
+    def test_grouping_edges_are_negative(self):
+        g = GroupingClause(
+            pred="g", head_args=(x,), group_pos=1, group_var=y,
+            body=(pos(atom("p", x, y)),),
+        )
+        p = Program.of(g)
+        assert ("g", "p", False) in set(p.dependency_edges())
+
+    def test_special_atoms_excluded(self):
+        from repro.core import equals
+
+        p = Program.of(horn(atom("p", x), equals(x, x)))
+        assert list(p.dependency_edges()) == []
+
+
+class TestRenaming:
+    def test_rename(self):
+        p = simple_program()
+        q = rename_predicates(p, {"edge": "arc"})
+        assert "arc" in q.predicates()
+        assert "edge" not in q.predicates()
+        # Rule bodies renamed too.
+        assert any(
+            any(l.atom.pred == "arc" for l in c.body)
+            for c in q.lps_clauses() if not c.is_fact
+        )
+
+    def test_rename_to_special_rejected(self):
+        p = simple_program()
+        with pytest.raises(ClauseError):
+            rename_predicates(p, {"edge": "="})
+
+    def test_pretty_round_trip_shape(self):
+        p = simple_program()
+        text = p.pretty()
+        assert text.count(".") == 3
+        assert "path(x, y) :- edge(x, y)." in text

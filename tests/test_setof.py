@@ -1,0 +1,90 @@
+"""Section 4.2: set construction with stratified negation.
+
+Theorem 8 says ``B(X) ⇔ X = {x | A(x)}`` is not definable with minimal-model
+semantics alone; the paper then defines it with stratified negation via the
+C/B construction.  We run that construction (compiled through Theorem 6)
+and check it yields exactly the witness set — including as the A-extension
+varies, the scenario of Theorem 8's probe."""
+
+import pytest
+
+from repro.core import Program, atom, const, fact, setvalue, var_a
+from repro.engine import Evaluator
+from repro.engine.setops import with_set_builtins
+from repro.transform import setof_program, setof_rules
+
+a, b, c = const("a"), const("b"), const("c")
+
+
+def run(program: Program):
+    return Evaluator(program, builtins=with_set_builtins()).run()
+
+
+def b_sets(model) -> set:
+    return {row[0] for row in model.relation("b")}
+
+
+class TestConstruction:
+    def test_rules_shape(self):
+        rules = setof_rules("a_pred", "b_pred")
+        assert len(rules) == 3  # ⊊, C, B
+        # B's body uses negation (the closed-world step of Section 4.2).
+        assert not rules[-1].body.is_positive()
+
+    def test_exact_set(self):
+        base = Program.of(fact(atom("a", a)), fact(atom("a", b)))
+        program = setof_program("a", "b", base=base)
+        m = run(program)
+        assert b_sets(m) == {frozenset({"a", "b"})}
+
+    def test_singleton(self):
+        base = Program.of(fact(atom("a", a)))
+        program = setof_program("a", "b", base=base)
+        m = run(program)
+        assert b_sets(m) == {frozenset({"a"})}
+
+    def test_theorem8_probe_now_succeeds(self):
+        """The P1/P2 probe from Theorem 8's proof: with stratified negation
+        the answer tracks the A-extension — no contradiction."""
+        p1 = Program.of(fact(atom("a", a)))
+        p2 = Program.of(fact(atom("a", a)), fact(atom("a", b)))
+        m1 = run(setof_program("a", "b", base=p1))
+        m2 = run(setof_program("a", "b", base=p2))
+        assert b_sets(m1) == {frozenset({"a"})}
+        assert b_sets(m2) == {frozenset({"a", "b"})}
+        # Non-monotone: B({a}) held under P1 and is GONE under P2 — the
+        # behaviour minimal-model semantics cannot express.
+        assert frozenset({"a"}) not in b_sets(m2)
+
+    def test_derived_a_predicate(self):
+        """A defined by rules (not just facts) still groups correctly."""
+        from repro.core import horn, var_a
+
+        x = var_a("x")
+        base = Program.of(
+            fact(atom("raw", a)),
+            fact(atom("raw", c)),
+            horn(atom("a", x), atom("raw", x)),
+        )
+        program = setof_program("a", "b", base=base)
+        m = run(program)
+        assert b_sets(m) == {frozenset({"a", "c"})}
+
+    def test_no_candidates_no_answer(self):
+        """Without candidate materialisation the maximal set may be missing
+        from the domain; the construction then under-reports (documented
+        active-domain caveat)."""
+        base = Program.of(fact(atom("a", a)), fact(atom("a", b)))
+        program = setof_program("a", "b", base=base,
+                                materialise_candidates=False)
+        m = run(program)
+        # Only sets visible in the active domain can be B-candidates; with
+        # no set values anywhere, nothing but ∅ is testable, and ∅ fails
+        # maximality against… nothing bigger in-domain, so B(∅) may hold.
+        assert all(s == frozenset() for s in b_sets(m))
+
+    def test_stratification_of_output(self):
+        from repro.engine.stratify import is_stratified
+
+        base = Program.of(fact(atom("a", a)))
+        assert is_stratified(setof_program("a", "b", base=base))

@@ -1,0 +1,128 @@
+"""Tests for stratification (Section 4.2 / [ABW86], grouping per Section 6)."""
+
+import pytest
+
+from repro.core import (
+    GroupingClause,
+    Program,
+    StratificationError,
+    atom,
+    fact,
+    horn,
+    neg,
+    pos,
+    var_a,
+)
+from repro.engine.stratify import is_stratified, stratify
+
+x, y = var_a("x"), var_a("y")
+a = __import__("repro.core", fromlist=["const"]).const("a")
+
+
+class TestPositivePrograms:
+    def test_single_stratum(self):
+        p = Program.of(
+            fact(atom("e", a, a)),
+            horn(atom("t", x, y), atom("e", x, y)),
+            horn(atom("t", x, y), atom("t", x, x), atom("t", x, y)),
+        )
+        s = stratify(p)
+        assert s.depth == 1
+
+    def test_positive_recursion_allowed(self):
+        p = Program.of(horn(atom("p", x), atom("p", x)))
+        assert is_stratified(p)
+
+
+class TestNegation:
+    def test_negation_forces_higher_stratum(self):
+        p = Program.of(
+            fact(atom("q", a)),
+            horn(atom("p", x), pos(atom("q", x)), neg(atom("r", x))),
+            horn(atom("r", x), atom("q", x)),
+        )
+        s = stratify(p)
+        assert s.stratum_of["r"] < s.stratum_of["p"]
+        assert s.stratum_of["q"] <= s.stratum_of["r"]
+
+    def test_negative_cycle_rejected(self):
+        p = Program.of(
+            horn(atom("p", x), neg(atom("q", x))),
+            horn(atom("q", x), neg(atom("p", x))),
+        )
+        with pytest.raises(StratificationError):
+            stratify(p)
+        assert not is_stratified(p)
+
+    def test_negative_self_loop_rejected(self):
+        p = Program.of(horn(atom("p", x), neg(atom("p", x))))
+        with pytest.raises(StratificationError):
+            stratify(p)
+
+    def test_clauses_bucketed_by_stratum(self):
+        p = Program.of(
+            fact(atom("q", a)),
+            horn(atom("r", x), atom("q", x)),
+            horn(atom("p", x), pos(atom("q", x)), neg(atom("r", x))),
+        )
+        s = stratify(p)
+        heads_by_stratum = [
+            {c.head.pred for c in bucket} for bucket in s.strata
+        ]
+        assert "p" in heads_by_stratum[-1]
+        assert "p" not in heads_by_stratum[0]
+
+
+class TestGrouping:
+    def grouping(self, pred, body_pred):
+        return GroupingClause(
+            pred=pred,
+            head_args=(x,),
+            group_pos=1,
+            group_var=y,
+            body=(pos(atom(body_pred, x, y)),),
+        )
+
+    def test_grouping_acts_like_negation(self):
+        p = Program.of(
+            fact(atom("c", a, a)),
+            self.grouping("g", "c"),
+        )
+        s = stratify(p)
+        assert s.stratum_of["c"] < s.stratum_of["g"]
+
+    def test_grouping_cycle_rejected(self):
+        p = Program.of(
+            self.grouping("g", "h"),
+            horn(atom("h", x, y), atom("g", x, y)),
+        )
+        with pytest.raises(StratificationError):
+            stratify(p)
+
+
+class TestIgnoreAndExtras:
+    def test_ignored_predicates_form_no_nodes(self):
+        p = Program.of(
+            horn(atom("p", x), pos(atom("neq", x, x))),
+        )
+        s = stratify(p, ignore={"neq"})
+        assert "neq" not in s.stratum_of
+
+    def test_extra_negative_edges(self):
+        p = Program.of(
+            fact(atom("q", a)),
+            horn(atom("p", x), atom("q", x)),
+        )
+        s = stratify(p, extra_negative=[("p", "q")])
+        assert s.stratum_of["q"] < s.stratum_of["p"]
+
+    def test_deep_chain(self):
+        clauses = [fact(atom("p0", a))]
+        for i in range(6):
+            clauses.append(
+                horn(atom(f"p{i+1}", x), neg(atom(f"p{i}", x)))
+            )
+        s = stratify(Program.of(*clauses))
+        assert s.depth == 7
+        for i in range(6):
+            assert s.stratum_of[f"p{i}"] < s.stratum_of[f"p{i+1}"]

@@ -1,0 +1,100 @@
+"""Unit tests for substitutions, including sort checks and canonicalization."""
+
+import pytest
+
+from repro.core import (
+    EMPTY_SUBST,
+    SetExpr,
+    SortError,
+    Subst,
+    app,
+    const,
+    mkset,
+    setvalue,
+    var_a,
+    var_s,
+    var_u,
+)
+
+x, y = var_a("x"), var_a("y")
+X, Y = var_s("X"), var_s("Y")
+a, b = const("a"), const("b")
+
+
+class TestConstruction:
+    def test_sort_check_a_to_set_rejected(self):
+        with pytest.raises(SortError):
+            Subst({x: setvalue([a])})
+
+    def test_sort_check_s_to_atom_rejected(self):
+        with pytest.raises(SortError):
+            Subst({X: a})
+
+    def test_untyped_var_binds_anything(self):
+        Subst({var_u("u"): a})
+        Subst({var_u("u"): setvalue([a])})
+
+    def test_non_var_key_rejected(self):
+        with pytest.raises(SortError):
+            Subst({a: b})  # type: ignore[dict-item]
+
+
+class TestApply:
+    def test_basic(self):
+        theta = Subst({x: a})
+        assert theta.apply(x) == a
+        assert theta.apply(y) == y
+
+    def test_apply_canonicalizes_sets(self):
+        theta = Subst({x: a, y: b})
+        result = theta.apply(SetExpr((x, y, x)))
+        assert result == setvalue([a, b])
+
+    def test_apply_inside_app(self):
+        theta = Subst({x: a})
+        assert theta.apply(app("f", x)) == app("f", a)
+
+    def test_partial_set_instantiation(self):
+        theta = Subst({x: a})
+        result = theta.apply(SetExpr((x, y)))
+        assert isinstance(result, SetExpr)
+
+    def test_binding_value_canonicalized_at_construction(self):
+        theta = Subst({X: SetExpr((a, b, a))})
+        assert theta[X] == setvalue([a, b])
+
+
+class TestAlgebra:
+    def test_compose_order(self):
+        theta = Subst({x: y})
+        sigma = Subst({y: a})
+        composed = theta.compose(sigma)
+        assert composed.apply(x) == a
+
+    def test_compose_matches_sequential_application(self):
+        theta = Subst({x: y})
+        sigma = Subst({y: a, x: b})
+        composed = theta.compose(sigma)
+        t = mkset(a)  # ground: unaffected
+        assert composed.apply(t) == sigma.apply(theta.apply(t))
+        assert composed.apply(x) == sigma.apply(theta.apply(x))
+
+    def test_bind_returns_new(self):
+        theta = EMPTY_SUBST.bind(x, a)
+        assert x not in EMPTY_SUBST
+        assert theta[x] == a
+
+    def test_restrict(self):
+        theta = Subst({x: a, y: b})
+        r = theta.restrict([x])
+        assert x in r and y not in r
+
+    def test_equality_and_hash(self):
+        assert Subst({x: a}) == Subst({x: a})
+        assert hash(Subst({x: a})) == hash(Subst({x: a}))
+        assert Subst({x: a}) != Subst({x: b})
+
+    def test_is_ground_for(self):
+        theta = Subst({x: a})
+        assert theta.is_ground_for([x])
+        assert not theta.is_ground_for([x, y])

@@ -1,0 +1,184 @@
+"""Unit tests for the term language (Definitions 1, 2, 7)."""
+
+import pytest
+
+from repro.core import (
+    EMPTY_SET,
+    App,
+    Const,
+    SetExpr,
+    SetValue,
+    SortError,
+    Var,
+    app,
+    canonicalize,
+    const,
+    free_vars,
+    mkset,
+    nesting_depth,
+    order_key,
+    setvalue,
+    subterms,
+    var_a,
+    var_s,
+    var_u,
+)
+from repro.core.sorts import SORT_A, SORT_S, SORT_U
+
+
+class TestSorts:
+    def test_variable_sorts(self):
+        assert var_a("x").sort == SORT_A
+        assert var_s("X").sort == SORT_S
+        assert var_u("u").sort == SORT_U
+
+    def test_unknown_sort_rejected(self):
+        with pytest.raises(SortError):
+            Var("x", "weird")
+
+    def test_constant_sort(self):
+        assert const("a").sort == SORT_A
+        assert const(7).sort == SORT_A
+
+    def test_app_sort(self):
+        assert app("f", const("a")).sort == SORT_A
+
+    def test_set_sorts(self):
+        assert mkset(const("a")).sort == SORT_S
+        assert EMPTY_SET.sort == SORT_S
+
+
+class TestExample8Guard:
+    """Example 8: functions must not produce (or consume) sets."""
+
+    def test_app_rejects_set_argument(self):
+        with pytest.raises(SortError):
+            app("f", mkset(const("a")))
+
+    def test_app_rejects_set_variable_argument(self):
+        with pytest.raises(SortError):
+            app("f", var_s("X"))
+
+    def test_function_signature_rejects_set_range(self):
+        from repro.core import FunctionSignature
+
+        with pytest.raises(SortError):
+            FunctionSignature("f", 1, range_sort=SORT_S)
+
+
+class TestSetValues:
+    """Definition 7: ground set constructors denote canonical finite sets."""
+
+    def test_order_insensitive(self):
+        a, b = const("a"), const("b")
+        assert mkset(a, b) == mkset(b, a)
+
+    def test_duplicate_insensitive(self):
+        a, b = const("a"), const("b")
+        assert mkset(a, a, b) == mkset(a, b)
+
+    def test_empty_set(self):
+        assert mkset() == EMPTY_SET
+        assert len(EMPTY_SET) == 0
+
+    def test_membership(self):
+        a, b, c = const("a"), const("b"), const("c")
+        s = setvalue([a, b])
+        assert a in s and b in s and c not in s
+
+    def test_sorted_elems_deterministic(self):
+        s = setvalue([const(3), const(1), const(2)])
+        assert [e.value for e in s.sorted_elems()] == [1, 2, 3]
+
+    def test_set_of_function_terms(self):
+        t = mkset(app("f", const("a")), app("f", const("a")))
+        assert isinstance(t, SetValue)
+        assert len(t) == 1
+
+    def test_setvalue_rejects_non_ground(self):
+        with pytest.raises(SortError):
+            SetValue(frozenset({var_a("x")}))
+
+    def test_setvalue_rejects_uncanonical_elements(self):
+        with pytest.raises(SortError):
+            SetValue(frozenset({SetExpr((const("a"),))}))
+
+
+class TestCanonicalize:
+    def test_ground_expr_becomes_value(self):
+        e = SetExpr((const("a"), const("b"), const("a")))
+        v = canonicalize(e)
+        assert isinstance(v, SetValue)
+        assert len(v) == 2
+
+    def test_non_ground_expr_stays_expr(self):
+        e = SetExpr((const("a"), var_a("x")))
+        assert isinstance(canonicalize(e), SetExpr)
+
+    def test_canonicalize_inside_app(self):
+        t = App("f", (const("a"),))
+        assert canonicalize(t) == t
+
+    def test_idempotent(self):
+        e = SetExpr((const("a"),))
+        once = canonicalize(e)
+        assert canonicalize(once) == once
+
+    def test_nested_elps_value(self):
+        inner = SetExpr((const("a"),))
+        outer = canonicalize(SetExpr((inner,)))
+        assert isinstance(outer, SetValue)
+        (elem,) = list(outer)
+        assert isinstance(elem, SetValue)
+
+
+class TestStructure:
+    def test_free_vars(self):
+        x, X = var_a("x"), var_s("X")
+        t = SetExpr((x, const("a")))
+        assert free_vars(t) == {x}
+        assert free_vars(X) == {X}
+        assert free_vars(const("a")) == set()
+
+    def test_subterms_of_app(self):
+        t = app("f", app("g", const("a")), const("b"))
+        subs = list(subterms(t))
+        assert const("a") in subs and const("b") in subs and t in subs
+
+    def test_subterms_of_setvalue(self):
+        s = setvalue([const("a")])
+        assert const("a") in list(subterms(s))
+
+    def test_nesting_depth(self):
+        a = const("a")
+        assert nesting_depth(a) == 0
+        assert nesting_depth(setvalue([a])) == 1
+        assert nesting_depth(setvalue([setvalue([a])])) == 2
+        assert nesting_depth(EMPTY_SET) == 1
+        assert nesting_depth(var_s("X")) == 1
+
+    def test_is_ground(self):
+        assert const("a").is_ground()
+        assert not var_a("x").is_ground()
+        assert not SetExpr((var_a("x"),)).is_ground()
+        assert setvalue([const("a")]).is_ground()
+
+
+class TestOrderKey:
+    def test_total_order_on_mixed_values(self):
+        values = [
+            const(2),
+            const("b"),
+            app("f", const("a")),
+            setvalue([const(1)]),
+            EMPTY_SET,
+        ]
+        ordered = sorted(values, key=order_key)
+        assert ordered.index(const(2)) < ordered.index(const("b"))
+        assert ordered.index(const("b")) < ordered.index(app("f", const("a")))
+        assert ordered.index(EMPTY_SET) < ordered.index(setvalue([const(1)]))
+
+    def test_str_rendering(self):
+        s = setvalue([const("b"), const("a")])
+        assert str(s) == "{a, b}"
+        assert str(app("f", const("a"))) == "f(a)"

@@ -1,0 +1,195 @@
+"""Theorem 7: no LPS program over a language whose only non-special
+predicate is ternary ``p`` defines union.
+
+The theorem quantifies over all programs, so it cannot be checked
+exhaustively; what CAN be machine-checked are the two pillars its proof
+(Appendix A) rests on, plus the failure of concrete candidate programs:
+
+1. **The α-extension argument.**  The proof takes a shortest derivation of
+   ``p(A, B, C)`` with C larger than any set constructor in the program,
+   picks a fresh atom α, and shows the derivation still goes through with
+   ``C ∪ {α}`` — contradicting ``A ∪ B = C``.  We mechanise the heart of
+   it: for quantifier-free programs whose head is ``p(t1, t2, Z)``, a
+   derivation of ``p(A,B,C)`` yields one of ``p(A,B,C ∪ {α})``.
+
+2. **Candidate refutation.**  Hand-written single-predicate candidate
+   programs for union (the ones the paper's case analysis dismisses)
+   provably fail the specification on generated witnesses.
+
+By contrast, WITH an auxiliary predicate, union is definable (Example 3 /
+Theorem 6) — tested in ``test_positive_transform.py`` — which is exactly
+the boundary Theorem 7 draws.
+"""
+
+import pytest
+
+from repro.core import (
+    Program,
+    SetExpr,
+    atom,
+    clause,
+    const,
+    fact,
+    horn,
+    member,
+    pos,
+    setvalue,
+    var_a,
+    var_s,
+)
+from repro.semantics import Universe, least_fixpoint
+
+x, y, z, w = var_a("x"), var_a("y"), var_a("z"), var_a("w")
+X, Y, Z = var_s("X"), var_s("Y"), var_s("Z")
+a, b, c, alpha = const("a"), const("b"), const("c"), const("alpha")
+
+
+def union_spec_holds(m, universe) -> bool:
+    """Whether predicate ``p`` is exactly union on the universe's sets."""
+    for A in universe.sets:
+        for B in universe.sets:
+            want = setvalue(list(A) + list(B))
+            for C in universe.sets:
+                is_union = C == want
+                if m.holds(atom("p", A, B, C)) != is_union:
+                    return False
+    return True
+
+
+class TestCandidateRefutation:
+    """Single-predicate candidates for union all fail on a witness."""
+
+    def candidates(self):
+        # Candidate 1: the naive "double inclusion" without the covering
+        # direction: p(X, Y, Z) :- (∀x∈X)(x∈Z) ∧ (∀y∈Y)(y∈Z).
+        cand1 = Program.of(
+            clause(
+                atom("p", X, Y, Z),
+                [(x, X), (y, Y)],
+                [member(x, Z), member(y, Z)],
+            )
+        )
+        # Candidate 2: the "split" the paper discusses in Section 4.1 —
+        # two clauses each covering one inclusion of Z.
+        cand2 = Program.of(
+            clause(
+                atom("p", X, Y, Z),
+                [(x, X), (y, Y), (z, Z)],
+                [member(x, Z), member(y, Z), member(z, X)],
+            ),
+            clause(
+                atom("p", X, Y, Z),
+                [(x, X), (y, Y), (z, Z)],
+                [member(x, Z), member(y, Z), member(z, Y)],
+            ),
+        )
+        # Candidate 3: enumerated small set constructors only.
+        cand3 = Program.of(
+            fact(atom("p", setvalue([]), setvalue([]), setvalue([]))),
+            horn(
+                atom("p", SetExpr((x,)), SetExpr((y,)), SetExpr((x, y))),
+                atom("p", setvalue([]), setvalue([]), setvalue([])),
+            ),
+        )
+        return [cand1, cand2, cand3]
+
+    def test_all_candidates_fail(self):
+        universe = Universe.build([a, b], max_set_size=2)
+        for program in self.candidates():
+            m = least_fixpoint(program, universe, max_rounds=50).interpretation
+            assert not union_spec_holds(m, universe), (
+                f"candidate unexpectedly defines union:\n{program.pretty()}"
+            )
+
+    def test_candidate2_is_union_of_conditions(self):
+        """Section 4.1: splitting the disjunction per the Horn recipe gives
+        ``X ⊆ Z ∧ Y ⊆ Z ∧ (Z ⊆ X ∨ Z ⊆ Y)`` — "which is not what we
+        wanted": it misses genuine unions of incomparable sets."""
+        universe = Universe.build([a, b], max_set_size=2)
+        program = self.candidates()[1]
+        m = least_fixpoint(program, universe, max_rounds=50).interpretation
+        # {a} ∪ {b} = {a,b} is a true union instance, but neither disjunct
+        # Z ⊆ X nor Z ⊆ Y holds, so the split program fails to derive it.
+        assert not m.holds(
+            atom("p", setvalue([a]), setvalue([b]), setvalue([a, b]))
+        )
+        # Comparable sets still work, so the program is not simply empty.
+        assert m.holds(
+            atom("p", setvalue([a]), setvalue([a, b]), setvalue([a, b]))
+        )
+
+
+class TestAlphaExtension:
+    """The proof's core move: enlarging C by a fresh atom preserves
+    derivability for quantifier-free single-predicate programs."""
+
+    def alpha_closed(self, program: Program, universe: Universe):
+        """lfp over the universe and over its α-extension."""
+        m = least_fixpoint(program, universe, max_rounds=50).interpretation
+        extended_sets = tuple(
+            {s for s in universe.sets}
+            | {setvalue(list(s) + [alpha]) for s in universe.sets}
+        )
+        extended = Universe(universe.atoms + (alpha,), extended_sets)
+        m_ext = least_fixpoint(program, extended, max_rounds=50).interpretation
+        return m, m_ext
+
+    def test_quantifier_free_program_is_alpha_insensitive(self):
+        """For the quantifier-free fragment the proof reduces to (case 1–5
+        of the appendix), derivability of p(A,B,C) implies derivability of
+        p(A,B,C∪{α}) whenever C occurs only as a variable.  Hence no such
+        program can pin C = A ∪ B."""
+        program = Program.of(
+            # p(X, Y, Z) with Z unconstrained except via other p-atoms:
+            horn(atom("p", X, Y, Z), atom("p", X, Y, Z)),  # vacuous loop
+            fact(atom("p", setvalue([a]), setvalue([b]), setvalue([a, b]))),
+            # A variable-Z rule as in the proof's case analysis:
+            horn(atom("p", SetExpr((x,)), Y, Z), atom("p", SetExpr((x,)), Y, Z)),
+        )
+        universe = Universe.build([a, b], max_set_size=2)
+        m, m_ext = self.alpha_closed(program, universe)
+        assert m.holds(atom("p", setvalue([a]), setvalue([b]), setvalue([a, b])))
+        # In the α-extended universe, the old derivations persist…
+        assert m_ext.holds(
+            atom("p", setvalue([a]), setvalue([b]), setvalue([a, b]))
+        )
+
+    def test_variable_third_argument_cannot_distinguish(self):
+        """A rule whose head is p(t1, t2, Z) with Z a variable and whose
+        body doesn't inspect Z derives p(…, C) for every C in the domain —
+        including C ∪ {α}; so it over-approximates union."""
+        program = Program.of(
+            fact(atom("q", a)),
+            horn(atom("p", X, Y, Z), atom("q", x)),
+        )
+        universe = Universe.build([a, b], max_set_size=2)
+        m = least_fixpoint(program, universe, max_rounds=50).interpretation
+        A, B = setvalue([a]), setvalue([b])
+        good = setvalue([a, b])
+        bad = setvalue([a])  # ≠ A ∪ B
+        assert m.holds(atom("p", A, B, good))
+        assert m.holds(atom("p", A, B, bad))  # over-derivation
+
+
+class TestContrastWithAuxiliaries:
+    def test_union_definable_with_auxiliaries(self):
+        """Example 3 via Theorem 6: with auxiliary predicates union IS
+        definable — the boundary Theorem 7 establishes."""
+        from repro.core import Rule
+        from repro.core.atoms import member as mem
+        from repro.core.formulas import AtomF, ForallIn, conj, disj
+        from repro.transform import compile_program
+
+        body = conj(
+            ForallIn(x, X, AtomF(mem(x, Z))),
+            ForallIn(y, Y, AtomF(mem(y, Z))),
+            ForallIn(z, Z, disj(AtomF(mem(z, X)), AtomF(mem(z, Y)))),
+        )
+        program = compile_program([Rule(atom("union", X, Y, Z), body)])
+        universe = Universe.build([a, b], max_set_size=2)
+        m = least_fixpoint(program, universe, max_rounds=50).interpretation
+        for A in universe.sets:
+            for B in universe.sets:
+                want = setvalue(list(A) + list(B))
+                for C in universe.sets:
+                    assert m.holds(atom("union", A, B, C)) == (C == want)

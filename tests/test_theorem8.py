@@ -1,0 +1,133 @@
+"""Theorem 8: set construction is impossible with minimal-model semantics.
+
+The proof's probe is fully mechanisable: take ``P1 = {A(c1)}`` and
+``P2 = {A(c1), A(c2)}``.  If some fixed ``P*`` (not mentioning B in P,
+not defining A) made ``B(U)`` hold exactly for ``U = {u | A(u)}``, then
+
+* ``M_{P1 ∪ P*}``  ⊨ B({c1})       (spec for P1), but
+* every model of P2∪P* is a model of P1∪P*, so by minimality
+  ``M_{P1∪P*} ⊆ M_{P2∪P*}`` — forcing  ``M_{P2∪P*} ⊨ B({c1})``,
+  contradicting the spec for P2 (which demands B({c1,c2}) only).
+
+We verify the monotonicity lemma (P1 ⊆ P2 ⇒ M_{P1} ⊆ M_{P2}) on random
+programs, run the probe against candidate B-definitions to watch each fail,
+and then confirm the Section 4.2 escape hatch: with stratified negation the
+predicate IS definable (see also test_setof.py)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    Program,
+    atom,
+    clause,
+    const,
+    fact,
+    horn,
+    member,
+    pos,
+    setvalue,
+    var_a,
+    var_s,
+)
+from repro.semantics import Universe, least_fixpoint
+
+x = var_a("x")
+X = var_s("X")
+c1, c2 = const("c1"), const("c2")
+
+UNIVERSE = Universe.build([c1, c2], max_set_size=2)
+
+
+def lfp(program: Program):
+    return least_fixpoint(program, UNIVERSE, max_rounds=60).interpretation
+
+
+class TestMonotonicityLemma:
+    """The engine of the proof: growing the program grows the least model."""
+
+    def test_concrete(self):
+        p_star = Program.of(clause(atom("b", X), [(x, X)], [atom("a", x)]))
+        p1 = Program.of(fact(atom("a", c1))) + p_star
+        p2 = Program.of(fact(atom("a", c1)), fact(atom("a", c2))) + p_star
+        m1, m2 = lfp(p1), lfp(p2)
+        assert set(m1.atoms()) <= set(m2.atoms())
+
+    @settings(max_examples=25, deadline=None)
+    @given(extra=st.lists(
+        st.sampled_from([fact(atom("a", c1)), fact(atom("a", c2)),
+                         fact(atom("q", c1)), fact(atom("q", c2))]),
+        max_size=3,
+    ))
+    def test_random(self, extra):
+        base = Program.of(
+            fact(atom("a", c1)),
+            horn(atom("q", x), atom("a", x)),
+        )
+        bigger = base.with_clauses(extra)
+        assert set(lfp(base).atoms()) <= set(lfp(bigger).atoms())
+
+
+class TestTheProbe:
+    """Run the proof's P1/P2 probe against candidate definitions of B."""
+
+    def candidates(self) -> list[Program]:
+        # Candidate 1: the paper's own (insufficient) attempt —
+        # B(X) :- (∀x∈X)A(x).  Holds for all SUBSETS of {x | A(x)}.
+        c1_prog = Program.of(
+            clause(atom("b", X), [(x, X)], [atom("a", x)]),
+        )
+        # Candidate 2: require non-emptiness too.
+        c2_prog = Program.of(
+            clause(
+                atom("b", X), [(x, X)],
+                [atom("a", x)],
+            ),
+        )
+        c2_prog = Program.of(
+            horn(atom("nonempty", X), member(var_a("w"), X)),
+            clause(atom("all_a", X), [(x, X)], [atom("a", x)]),
+            horn(atom("b", X), atom("all_a", X), atom("nonempty", X)),
+        )
+        return [c1_prog, c2_prog]
+
+    def spec_holds(self, m, witness_set) -> bool:
+        """B(U) iff U == witness_set, over all sets in the universe."""
+        for U in UNIVERSE.sets:
+            if m.holds(atom("b", U)) != (U == witness_set):
+                return False
+        return True
+
+    def test_candidates_fail_the_probe(self):
+        for p_star in self.candidates():
+            p1 = Program.of(fact(atom("a", c1))) + p_star
+            p2 = Program.of(fact(atom("a", c1)), fact(atom("a", c2))) + p_star
+            ok1 = self.spec_holds(lfp(p1), setvalue([c1]))
+            ok2 = self.spec_holds(lfp(p2), setvalue([c1, c2]))
+            assert not (ok1 and ok2), (
+                "a minimal-model program defined exact set construction, "
+                "contradicting Theorem 8:\n" + p_star.pretty()
+            )
+
+    def test_proof_argument_directly(self):
+        """If B({c1}) holds in M_{P1∪P*}, monotonicity forces it in
+        M_{P2∪P*}, where the spec forbids it."""
+        p_star = self.candidates()[0]
+        p1 = Program.of(fact(atom("a", c1))) + p_star
+        p2 = Program.of(fact(atom("a", c1)), fact(atom("a", c2))) + p_star
+        m1, m2 = lfp(p1), lfp(p2)
+        if m1.holds(atom("b", setvalue([c1]))):
+            # the contradiction the proof derives:
+            assert m2.holds(atom("b", setvalue([c1])))
+            assert not self.spec_holds(m2, setvalue([c1, c2]))
+
+    def test_subset_behaviour_of_naive_b(self):
+        """Section 4.2's observation: B(X) :- (∀x∈X)A(x) holds for ALL
+        subsets of the witness set, not just the witness set."""
+        p_star = self.candidates()[0]
+        p2 = Program.of(fact(atom("a", c1)), fact(atom("a", c2))) + p_star
+        m = lfp(p2)
+        assert m.holds(atom("b", setvalue([])))
+        assert m.holds(atom("b", setvalue([c1])))
+        assert m.holds(atom("b", setvalue([c2])))
+        assert m.holds(atom("b", setvalue([c1, c2])))

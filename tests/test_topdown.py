@@ -1,0 +1,161 @@
+"""Tests for the top-down SLD prover (Section 3.2's procedural semantics)."""
+
+import pytest
+
+from repro.core import (
+    Program,
+    Subst,
+    atom,
+    clause,
+    const,
+    fact,
+    horn,
+    member,
+    neg,
+    pos,
+    setvalue,
+    var_a,
+    var_s,
+)
+from repro.engine import Database, TopDownProver, solve
+
+x, y, z = var_a("x"), var_a("y"), var_a("z")
+X, Y = var_s("X"), var_s("Y")
+a, b, c = const("a"), const("b"), const("c")
+
+
+def closure_program():
+    return Program.of(
+        fact(atom("e", a, b)),
+        fact(atom("e", b, c)),
+        horn(atom("t", x, y), atom("e", x, y)),
+        horn(atom("t", x, z), atom("e", x, y), atom("t", y, z)),
+    )
+
+
+class TestBasicProof:
+    def test_ground_goals(self):
+        td = TopDownProver(closure_program())
+        assert td.holds(atom("t", a, c))
+        assert not td.holds(atom("t", c, a))
+
+    def test_answer_enumeration(self):
+        td = TopDownProver(closure_program())
+        answers = {
+            (s.apply(x), s.apply(y)) for s in td.prove(atom("t", x, y))
+        }
+        assert answers == {(a, b), (b, c), (a, c)}
+
+    def test_answers_restricted_to_goal_vars(self):
+        td = TopDownProver(closure_program())
+        for s in td.prove(atom("t", x, y)):
+            assert set(s) <= {x, y}
+
+    def test_database_facts(self):
+        db = Database()
+        db.add("e", "a", "b")
+        td = TopDownProver(Program.of(horn(atom("t", x, y), atom("e", x, y))),
+                           database=db)
+        assert td.holds(atom("t", a, b))
+
+    def test_loop_check_terminates(self):
+        p = Program.of(
+            fact(atom("p", a)),
+            horn(atom("p", x), atom("p", x)),  # left recursion
+        )
+        td = TopDownProver(p)
+        assert td.holds(atom("p", a))
+        assert not td.holds(atom("p", b))
+
+    def test_limit(self):
+        td = TopDownProver(closure_program())
+        assert len(td.ask(atom("t", x, y), limit=2)) == 2
+
+
+class TestQuantifiedGoals:
+    def subset_program(self):
+        return Program.of(
+            clause(atom("subset", X, Y), [(x, X)], [member(x, Y)]),
+        )
+
+    def test_ground_quantified_goal(self):
+        td = TopDownProver(self.subset_program())
+        assert td.holds(atom("subset", setvalue([a]), setvalue([a, b])))
+        assert not td.holds(atom("subset", setvalue([a, b]), setvalue([a])))
+
+    def test_empty_set_vacuous(self):
+        td = TopDownProver(self.subset_program())
+        assert td.holds(atom("subset", setvalue([]), setvalue([])))
+        assert td.holds(atom("subset", setvalue([]), setvalue([a])))
+
+    def test_delayed_quantifier_fails_gracefully(self):
+        """A goal whose quantifier range never becomes ground floats
+        forever; the prover answers 'no proof' rather than diverging —
+        the paper's 'no longer a practical decision procedure'."""
+        td = TopDownProver(self.subset_program())
+        assert td.ask(atom("subset", X, Y)) == []
+
+    def test_disj_example1(self):
+        p = Program.of(
+            clause(atom("disj", X, Y), [(x, X), (y, Y)],
+                   [atom("neq", x, y)]),
+        )
+        td = TopDownProver(p)
+        assert td.holds(atom("disj", setvalue([a]), setvalue([b])))
+        assert not td.holds(atom("disj", setvalue([a]), setvalue([a, b])))
+        assert td.holds(atom("disj", setvalue([]), setvalue([a])))
+
+
+class TestSetUnificationInHeads:
+    def test_set_constructor_head(self):
+        from repro.core import SetExpr, Atom
+
+        p = Program.of(
+            horn(Atom("sum1", (SetExpr((x,)), x))),
+        )
+        td = TopDownProver(p)
+        assert td.holds(atom("sum1", setvalue([a]), a))
+        # Non-unitary matching: {x} against {a} binds x=a.
+        answers = td.ask(atom("sum1", setvalue([b]), y))
+        assert [s.apply(y) for s in answers] == [b]
+
+    def test_sum_via_scons_builtin(self):
+        from repro.engine.setops import with_set_builtins
+
+        p = Program.of(
+            fact(atom("sum", setvalue([]), const(0))),
+            horn(
+                atom("sum", X, z),
+                atom("choose_min", x, Y, X),
+                atom("sum", Y, y),
+                atom("plus", y, x, z),
+            ),
+        )
+        td = TopDownProver(p, builtins=with_set_builtins())
+        target = setvalue([const(3), const(5), const(9)])
+        answers = td.ask(atom("sum", target, z))
+        assert {s.apply(z) for s in answers} == {const(17)}
+
+
+class TestAgreementWithBottomUp:
+    def test_ground_query_agreement(self):
+        p = closure_program()
+        m = solve(p)
+        td = TopDownProver(p)
+        for u in (a, b, c):
+            for v in (a, b, c):
+                goal = atom("t", u, v)
+                assert m.holds(goal) == td.holds(goal)
+
+    def test_negation_as_failure(self):
+        p = Program.of(
+            fact(atom("q", a)),
+            fact(atom("node", a)),
+            fact(atom("node", b)),
+            horn(atom("p", x), pos(atom("node", x)), neg(atom("q", x))),
+        )
+        td = TopDownProver(p)
+        assert td.holds(atom("p", b))
+        assert not td.holds(atom("p", a))
+        m = solve(p)
+        assert m.holds(atom("p", b)) and not m.holds(atom("p", a))

@@ -1,0 +1,191 @@
+"""Tests for unification/matching with set terms.
+
+The paper (Section 3.2) observes that the procedural semantics of LPS needs
+*arbitrary* unifiers, not a most general one — set-term unification is
+non-unitary.  These tests pin down the complete enumeration for the widths
+the engine uses.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    Atom,
+    EvaluationError,
+    SetExpr,
+    Subst,
+    app,
+    atom,
+    const,
+    first_unifier,
+    match,
+    match_atom,
+    setvalue,
+    unify,
+    unify_atoms,
+    var_a,
+    var_s,
+)
+
+x, y, z = var_a("x"), var_a("y"), var_a("z")
+X, Y = var_s("X"), var_s("Y")
+a, b, c = const("a"), const("b"), const("c")
+
+
+def all_unifiers(t1, t2):
+    return list(unify(t1, t2))
+
+
+class TestFirstOrderFragment:
+    def test_identical_terms(self):
+        assert all_unifiers(a, a) == [Subst()]
+
+    def test_clash(self):
+        assert all_unifiers(a, b) == []
+
+    def test_var_const(self):
+        (sigma,) = all_unifiers(x, a)
+        assert sigma[x] == a
+
+    def test_var_var(self):
+        (sigma,) = all_unifiers(x, y)
+        assert sigma.apply(x) == sigma.apply(y)
+
+    def test_apps(self):
+        (sigma,) = all_unifiers(app("f", x, b), app("f", a, y))
+        assert sigma[x] == a and sigma[y] == b
+
+    def test_app_functor_clash(self):
+        assert all_unifiers(app("f", x), app("g", x)) == []
+
+    def test_occurs_check(self):
+        assert all_unifiers(x, app("f", x)) == []
+
+    def test_sort_clash_var(self):
+        assert all_unifiers(x, setvalue([a])) == []
+        assert all_unifiers(X, a) == []
+
+
+class TestSetUnification:
+    def test_two_unifiers(self):
+        """{x, y} vs {a, b}: exactly the two pairings (non-unitary)."""
+        sigmas = all_unifiers(SetExpr((x, y)), setvalue([a, b]))
+        solutions = {(s[x], s[y]) for s in sigmas}
+        assert solutions == {(a, b), (b, a)}
+
+    def test_collapsing_unifier(self):
+        """{x, y} vs {a}: both variables must take the single element."""
+        sigmas = all_unifiers(SetExpr((x, y)), setvalue([a]))
+        assert len(sigmas) == 1
+        assert sigmas[0][x] == a and sigmas[0][y] == a
+
+    def test_width_mismatch_fails(self):
+        """{x} can never denote a two-element set."""
+        assert all_unifiers(SetExpr((x,)), setvalue([a, b])) == []
+
+    def test_empty_constructor_vs_empty_set(self):
+        assert all_unifiers(SetExpr(()), setvalue([])) == [Subst()]
+
+    def test_empty_constructor_vs_nonempty(self):
+        assert all_unifiers(SetExpr(()), setvalue([a])) == []
+
+    def test_ground_sets(self):
+        assert all_unifiers(setvalue([a]), setvalue([a])) == [Subst()]
+        assert all_unifiers(setvalue([a]), setvalue([b])) == []
+
+    def test_partially_ground_constructor(self):
+        sigmas = all_unifiers(SetExpr((a, x)), setvalue([a, b]))
+        assert {s[x] for s in sigmas} == {b}
+
+    def test_setvar_binds_whole_set(self):
+        (sigma,) = all_unifiers(X, setvalue([a, b]))
+        assert sigma[X] == setvalue([a, b])
+
+    def test_expr_vs_expr(self):
+        sigmas = all_unifiers(SetExpr((x,)), SetExpr((y,)))
+        assert any(s.apply(x) == s.apply(y) for s in sigmas)
+
+    def test_expr_vs_expr_constants(self):
+        assert all_unifiers(SetExpr((a,)), SetExpr((b,))) == []
+        assert all_unifiers(SetExpr((a, x)), SetExpr((a, b)))
+
+    def test_width_guard(self):
+        wide = SetExpr(tuple(var_a(f"v{i}") for i in range(12)))
+        with pytest.raises(EvaluationError):
+            list(unify(wide, setvalue([const(i) for i in range(12)])))
+
+    def test_unifiers_actually_unify(self):
+        pattern = SetExpr((x, y, a))
+        target = setvalue([a, b, c])
+        for sigma in unify(pattern, target):
+            assert sigma.apply(pattern) == target
+
+
+class TestMatching:
+    def test_match_requires_ground_target(self):
+        with pytest.raises(EvaluationError):
+            list(match(x, y))
+
+    def test_match_binds_pattern_only(self):
+        (sigma,) = list(match(app("f", x), app("f", a)))
+        assert sigma[x] == a
+
+    def test_match_atom(self):
+        pattern = atom("p", x, X)
+        target = atom("p", a, setvalue([a, b]))
+        (sigma,) = list(match_atom(pattern, target))
+        assert sigma[x] == a and sigma[X] == setvalue([a, b])
+
+    def test_match_atom_pred_mismatch(self):
+        assert list(match_atom(atom("p", x), atom("q", a))) == []
+
+    def test_match_set_pattern(self):
+        sigmas = list(match(SetExpr((x, y)), setvalue([a, b])))
+        assert len(sigmas) == 2
+
+    def test_first_unifier(self):
+        assert first_unifier(a, b) is None
+        assert first_unifier(x, a) is not None
+
+
+# -- property-based ----------------------------------------------------------
+
+ground_atoms = st.sampled_from([a, b, c, app("f", a), app("f", b)])
+ground_sets = st.frozensets(ground_atoms, max_size=3).map(setvalue)
+ground_terms = st.one_of(ground_atoms, ground_sets)
+
+
+@given(t=ground_terms)
+def test_unify_reflexive(t):
+    assert list(unify(t, t)) == [Subst()]
+
+
+@given(t1=ground_terms, t2=ground_terms)
+def test_unify_ground_iff_equal(t1, t2):
+    sigmas = list(unify(t1, t2))
+    assert bool(sigmas) == (t1 == t2)
+
+
+@settings(max_examples=50)
+@given(target=ground_sets)
+def test_set_pattern_match_soundness(target):
+    """Every enumerated match really instantiates the pattern to the target."""
+    pattern = SetExpr((x, y))
+    for sigma in match(pattern, target):
+        assert sigma.apply(pattern) == target
+
+
+@settings(max_examples=50)
+@given(target=st.frozensets(ground_atoms, min_size=1, max_size=2).map(setvalue))
+def test_set_pattern_match_completeness_width2(target):
+    """{x, y} matches any set of size 1 or 2; the enumeration is non-empty
+    and covers all element pairs."""
+    sigmas = list(match(SetExpr((x, y)), target))
+    elems = set(target)
+    expected = {
+        (e1, e2)
+        for e1 in elems
+        for e2 in elems
+        if frozenset({e1, e2}) == frozenset(elems)
+    }
+    assert {(s[x], s[y]) for s in sigmas} == expected

@@ -1,0 +1,233 @@
+"""Theorem 10: ELPS ≡ Horn + union ≡ Horn + scons.
+
+Each direction is tested by running both sides and comparing the extensions
+of the common (original-language) predicates:
+
+* Horn+union / Horn+scons programs run on the engine with the Definition 15
+  builtins (their fixed interpretation);
+* their ELPS translations run WITHOUT those builtins — ``union``/``scons``
+  have been renamed and axiomatised in pure ELPS;
+* ELPS programs with quantifier prefixes are iterated away into recursive
+  Horn clauses over union/scons and compared against the original.
+"""
+
+import pytest
+
+from repro.core import (
+    Program,
+    atom,
+    clause,
+    const,
+    fact,
+    horn,
+    member,
+    pos,
+    setvalue,
+    var_a,
+    var_s,
+)
+from repro.engine import Evaluator, solve
+from repro.engine.builtins import default_builtins
+from repro.engine.evaluation import EvalOptions
+from repro.engine.setops import with_set_builtins
+from repro.transform import (
+    from_horn_scons,
+    from_horn_union,
+    to_horn_scons,
+    to_horn_union,
+)
+
+x, y, z = var_a("x"), var_a("y"), var_a("z")
+X, Y, Z = var_s("X"), var_s("Y"), var_s("Z")
+a, b, c = const("a"), const("b"), const("c")
+
+
+def run_with_setops(program: Program):
+    return Evaluator(program, builtins=with_set_builtins()).run()
+
+
+def run_pure(program: Program):
+    return Evaluator(program, builtins=default_builtins()).run()
+
+
+class TestFromHornUnion:
+    """Horn + union → ELPS (Theorem 10(1))."""
+
+    def horn_union_program(self) -> Program:
+        return Program.of(
+            fact(atom("s", setvalue([a]))),
+            fact(atom("s", setvalue([b]))),
+            fact(atom("s", setvalue([a, c]))),
+            horn(atom("u", X, Y, Z), atom("s", X), atom("s", Y),
+                 atom("union", X, Y, Z)),
+        )
+
+    def test_union_head_rejected(self):
+        from repro.core import ClauseError
+
+        bad = Program.of(horn(atom("union", X, Y, Z), atom("s", X)))
+        with pytest.raises(ClauseError):
+            from_horn_union(bad)
+
+    def test_translation_has_no_union_predicate(self):
+        translated = from_horn_union(self.horn_union_program())
+        assert "union" not in translated.predicates()
+
+    def test_extension_agreement(self):
+        """Theorem 10(1) equivalence, with one active-domain caveat made
+        explicit: the union BUILTIN constructs new set values, while the
+        pure-ELPS axiomatisation can only relate sets already in the
+        (finite) active domain.  Over the full Herbrand universe — here,
+        after seeding the candidate union sets into the domain with inert
+        facts — the extensions agree exactly."""
+        original = self.horn_union_program()
+        m1 = run_with_setops(original)
+        union_sets = {row[2] for row in m1.relation("u")}
+        seed = Program.of(*(
+            fact(atom("domset", __import__("repro.engine.database",
+                                           fromlist=["to_term"]).to_term(s)))
+            for s in sorted(union_sets, key=str)
+        ))
+        m2 = run_pure(from_horn_union(original) + seed)
+        assert m1.relation("u") == m2.relation("u")
+        assert m1.relation("u")  # non-trivial
+
+    def test_agreement_on_common_domain_without_seeding(self):
+        """Without seeding, the translation agrees on all sets it can see."""
+        original = self.horn_union_program()
+        m1 = run_with_setops(original)
+        m2 = run_pure(from_horn_union(original))
+        assert m2.relation("u") <= m1.relation("u")
+        domain_sets = {frozenset({"a"}), frozenset({"b"}),
+                       frozenset({"a", "c"})}
+        r1 = {t for t in m1.relation("u") if t[2] in domain_sets}
+        r2 = {t for t in m2.relation("u") if t[2] in domain_sets}
+        assert r1 == r2
+
+    def test_union_values_materialise(self):
+        """The translated program must still relate the DERIVED union sets;
+        they exist in the active domain because the original program's
+        facts and the builtin's outputs put them there."""
+        m = run_with_setops(self.horn_union_program())
+        assert (frozenset({"a"}), frozenset({"b"}),
+                frozenset({"a", "b"})) in m.relation("u")
+
+
+class TestFromHornScons:
+    """Horn + scons → ELPS (Theorem 10(2))."""
+
+    def horn_scons_program(self) -> Program:
+        return Program.of(
+            fact(atom("s", setvalue([a, b]))),
+            fact(atom("e", c)),
+            horn(atom("grown", Z), atom("e", x), atom("s", Y),
+                 atom("scons", x, Y, Z)),
+        )
+
+    def test_extension_agreement(self):
+        original = self.horn_scons_program()
+        m1 = run_with_setops(original)
+        grown_sets = {row[0] for row in m1.relation("grown")}
+        seed = Program.of(*(
+            fact(atom("domset", __import__("repro.engine.database",
+                                           fromlist=["to_term"]).to_term(s)))
+            for s in sorted(grown_sets, key=str)
+        ))
+        m2 = run_pure(from_horn_scons(original) + seed)
+        assert m1.relation("grown") == m2.relation("grown")
+        assert m1.relation("grown") == {(frozenset({"a", "b", "c"}),)}
+
+
+class TestToHorn:
+    """ELPS → Horn + union / Horn + scons (Theorem 10(3)/(4))."""
+
+    def elps_program(self) -> Program:
+        return Program.of(
+            fact(atom("s", setvalue([a]))),
+            fact(atom("s", setvalue([a, b]))),
+            fact(atom("s", setvalue([]))),
+            fact(atom("p", a)),
+            clause(atom("allp", X), [(x, X)], [atom("p", x)]),
+            clause(atom("subs", X, Y), [(x, X)], [member(x, Y)]),
+        )
+
+    @pytest.mark.parametrize("translate", [to_horn_union, to_horn_scons])
+    def test_no_quantifiers_remain(self, translate):
+        out = translate(self.elps_program())
+        for cl in out.lps_clauses():
+            assert not cl.quantifiers
+
+    @pytest.mark.parametrize("translate,uses", [
+        (to_horn_union, "union"),
+        (to_horn_scons, "scons"),
+    ])
+    def test_uses_decomposition_predicate(self, translate, uses):
+        out = translate(self.elps_program())
+        body_preds = {
+            l.atom.pred for cl in out.lps_clauses() for l in cl.body
+        }
+        assert uses in body_preds
+
+    @pytest.mark.parametrize("translate", [to_horn_union, to_horn_scons])
+    def test_extension_agreement(self, translate):
+        original = self.elps_program()
+        m1 = run_pure(original)
+        out = translate(original)
+        m2 = run_with_setops(out)
+        for pred in ("allp", "subs"):
+            assert m1.relation(pred) <= m2.relation(pred), pred
+        # The translated program may additionally relate sets that only
+        # arise as decomposition intermediates; on the original program's
+        # sets the extensions must agree exactly.
+        orig_sets = {frozenset({"a"}), frozenset({"a", "b"}), frozenset()}
+        r1 = {t for t in m1.relation("allp") if t[0] in orig_sets}
+        r2 = {t for t in m2.relation("allp") if t[0] in orig_sets}
+        assert r1 == r2
+
+    @pytest.mark.parametrize("translate", [to_horn_union, to_horn_scons])
+    def test_empty_set_base_case(self, translate):
+        """Our ∅ base case covers vacuous quantification, which the
+        paper's singleton base misses (see module docstring in
+        repro.transform.union_scons)."""
+        original = self.elps_program()
+        out = translate(original)
+        m = run_with_setops(out)
+        assert m.holds(atom("allp", setvalue([])))
+        assert m.holds(atom("subs", setvalue([]), setvalue([])))
+
+    def test_round_trip(self):
+        """ELPS → Horn+union → ELPS preserves the original predicates."""
+        original = self.elps_program()
+        there = to_horn_union(original)
+        back = from_horn_union(there)
+        m1 = run_pure(original)
+        m2 = run_pure(back)
+        orig_sets = {frozenset({"a"}), frozenset({"a", "b"}), frozenset()}
+        r1 = {t for t in m1.relation("allp") if t[0] in orig_sets}
+        r2 = {t for t in m2.relation("allp") if t[0] in orig_sets}
+        assert r1 == r2
+
+
+class TestMultipleQuantifiers:
+    def test_two_quantifier_elimination(self):
+        original = Program.of(
+            fact(atom("s", setvalue([a]))),
+            fact(atom("s", setvalue([b]))),
+            fact(atom("s", setvalue([a, b]))),
+            fact(atom("s", setvalue([]))),
+            clause(atom("disj", X, Y), [(x, X), (y, Y)],
+                   [atom("neq", x, y)]),
+        )
+        m1 = run_pure(original)
+        for translate in (to_horn_union, to_horn_scons):
+            out = translate(original)
+            m2 = run_with_setops(out)
+            orig_sets = {frozenset({"a"}), frozenset({"b"}),
+                         frozenset({"a", "b"}), frozenset()}
+            r1 = {t for t in m1.relation("disj")
+                  if t[0] in orig_sets and t[1] in orig_sets}
+            r2 = {t for t in m2.relation("disj")
+                  if t[0] in orig_sets and t[1] in orig_sets}
+            assert r1 == r2
+            assert (frozenset({"a"}), frozenset({"b"})) in r2
+            assert (frozenset({"a"}), frozenset({"a", "b"})) not in r2

@@ -1,0 +1,82 @@
+"""Tests for the synthetic workload generators (determinism & shape)."""
+
+from repro.workloads import (
+    chain_graph,
+    cycle_graph,
+    grid_graph,
+    nested_relation_rows,
+    number_set,
+    parts_database,
+    parts_world,
+    random_graph,
+    random_sets,
+    set_database,
+)
+
+
+class TestRandomSets:
+    def test_deterministic(self):
+        assert random_sets(5, 10, seed=3) == random_sets(5, 10, seed=3)
+        assert random_sets(5, 10, seed=3) != random_sets(5, 10, seed=4)
+
+    def test_shape(self):
+        out = random_sets(7, 10, min_size=1, max_size=4, seed=0)
+        assert len(out) == 7
+        assert all(1 <= len(s) <= 4 or len(s) <= 4 for s in out)
+        assert all(all(0 <= e < 10 for e in s) for s in out)
+
+    def test_database(self):
+        db = set_database("s", 5, 10, seed=1)
+        assert len(db.relation("s")) <= 5  # dedup possible
+
+
+class TestGraphs:
+    def test_chain(self):
+        edges = chain_graph(3)
+        assert edges == [("v0", "v1"), ("v1", "v2"), ("v2", "v3")]
+
+    def test_cycle(self):
+        edges = cycle_graph(3)
+        assert ("v2", "v0") in edges
+        assert len(edges) == 3
+
+    def test_grid(self):
+        edges = grid_graph(2, 2)
+        assert len(edges) == 4
+
+    def test_random_graph_no_self_loops(self):
+        edges = random_graph(10, 20, seed=2)
+        assert len(edges) == 20
+        assert all(u != v for u, v in edges)
+
+
+class TestPartsWorld:
+    def test_structure(self):
+        w = parts_world(depth=2, fanout=3)
+        # 1 root + 3 children (assemblies? no: depth 2 => children are
+        # internal at level 1, leaves at level 2).
+        assert len(w.parts) == 4      # root + 3 level-1 assemblies
+        assert len(w.cost) == 9       # 3*3 leaves
+
+    def test_expected_costs_consistent(self):
+        w = parts_world(depth=3, fanout=2, seed=5)
+        for obj, comps in w.parts.items():
+            assert w.expected[obj] == sum(w.expected[c] for c in comps)
+
+    def test_database_loads(self):
+        w = parts_world(depth=2, fanout=2)
+        db = parts_database(w)
+        assert len(db.relation("parts")) == len(w.parts)
+        assert len(db.relation("cost")) == len(w.cost)
+
+
+class TestOtherGenerators:
+    def test_number_set(self):
+        s = number_set(8, seed=1)
+        assert len(s) == 8
+        assert s == number_set(8, seed=1)
+
+    def test_nested_relation_rows(self):
+        rows = nested_relation_rows(4, 3, seed=0)
+        assert len(rows) == 4
+        assert all(isinstance(r[1], frozenset) for r in rows)
