@@ -4,6 +4,11 @@ Each benchmark file regenerates one row of the experiment index in
 DESIGN.md / EXPERIMENTS.md.  Sizes are chosen so the whole suite runs in a
 couple of minutes; the generators are deterministic, so numbers are
 comparable across runs.
+
+The engine entry point is provided as the ``evaluate`` *fixture* (not a
+module import) so the benchmark modules need no package-relative imports —
+``python -m pytest`` collects them from the repository root without any
+package context.
 """
 
 import pytest
@@ -13,10 +18,17 @@ from repro.engine.evaluation import EvalOptions
 from repro.engine.setops import with_set_builtins
 
 
-def evaluate(program, db=None, **opts):
+def run_engine(program, db=None, **opts):
+    """Evaluate a program with the set builtins enabled."""
     options = EvalOptions(**opts) if opts else EvalOptions()
     return Evaluator(program, db, builtins=with_set_builtins(),
                      options=options).run()
+
+
+@pytest.fixture(scope="session")
+def evaluate():
+    """Fixture-injected engine entry point (see module docstring)."""
+    return run_engine
 
 
 @pytest.fixture(scope="session")

@@ -12,7 +12,6 @@ from repro.core import const
 from repro.semantics import Universe, least_fixpoint
 from repro.workloads import random_sets
 
-from .conftest import evaluate
 
 x = var_a("x")
 X, Y = var_s("X"), var_s("Y")
@@ -40,7 +39,7 @@ def test_reference_tp(benchmark, n_sets):
 
 
 @pytest.mark.parametrize("n_sets", [4, 6, 16])
-def test_engine(benchmark, n_sets):
+def test_engine(benchmark, evaluate, n_sets):
     program = subset_program(n_sets)
     result = benchmark(lambda: evaluate(program))
     assert result.relation("subs")

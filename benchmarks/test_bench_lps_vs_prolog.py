@@ -18,8 +18,6 @@ from repro import parse_program
 from repro.baseline import ListSetBaseline
 from repro.workloads import random_sets
 
-from .conftest import evaluate
-
 
 def make_db(n_sets, width, seed=0):
     from repro.engine import Database
@@ -38,7 +36,7 @@ disj(X, Y) :- s(X), s(Y), forall A in X (forall B in Y (A != B)).
 
 
 @pytest.mark.parametrize("width", [4, 8, 16])
-def test_lps_disj_all_pairs(benchmark, width):
+def test_lps_disj_all_pairs(benchmark, evaluate, width):
     db, _ = make_db(12, width)
     result = benchmark(lambda: evaluate(DISJ_PROGRAM, db))
     assert result.relation("disj") is not None
@@ -77,7 +75,7 @@ def test_prolog_member_scaling(benchmark, width):
 
 
 @pytest.mark.parametrize("width", [8, 32, 128])
-def test_lps_member_scaling(benchmark, width):
+def test_lps_member_scaling(benchmark, evaluate, width):
     """Membership is primitive in LPS — the engine checks it structurally."""
     from repro.core import atom, const, member, setvalue
 

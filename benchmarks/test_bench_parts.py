@@ -5,7 +5,6 @@ import pytest
 from repro import parse_program
 from repro.workloads import parts_database, parts_world
 
-from .conftest import evaluate
 
 RULES = parse_program("""
 item_cost(P, C) :- cost(P, C).
@@ -20,7 +19,7 @@ obj_cost(P, C) :- parts(P, S), sum_costs(S, C).
 
 
 @pytest.mark.parametrize("depth,fanout", [(2, 2), (3, 2), (3, 3), (4, 2)])
-def test_parts_explosion(benchmark, depth, fanout):
+def test_parts_explosion(benchmark, evaluate, depth, fanout):
     world = parts_world(depth=depth, fanout=fanout, seed=11)
     db = parts_database(world)
 

@@ -13,7 +13,6 @@ from repro import parse_program
 from repro.engine import Database
 from repro.workloads import chain_graph, grid_graph, set_database
 
-from .conftest import evaluate
 
 TC = parse_program("""
 t(X, Y) :- e(X, Y).
@@ -30,7 +29,7 @@ def graph_db(edges):
 
 @pytest.mark.parametrize("n", [16, 32, 64])
 @pytest.mark.parametrize("mode", ["seminaive", "naive"])
-def test_chain_closure(benchmark, n, mode):
+def test_chain_closure(benchmark, evaluate, n, mode):
     db = graph_db(chain_graph(n))
     result = benchmark(
         lambda: evaluate(TC, db, semi_naive=(mode == "seminaive"))
@@ -40,7 +39,7 @@ def test_chain_closure(benchmark, n, mode):
 
 @pytest.mark.parametrize("side", [4, 6])
 @pytest.mark.parametrize("mode", ["seminaive", "naive"])
-def test_grid_closure(benchmark, side, mode):
+def test_grid_closure(benchmark, evaluate, side, mode):
     db = graph_db(grid_graph(side, side))
     result = benchmark(
         lambda: evaluate(TC, db, semi_naive=(mode == "seminaive"))
@@ -55,7 +54,7 @@ chainable(X, Z) :- disj(X, Y), disj(Y, Z).
 
 
 @pytest.mark.parametrize("mode", ["seminaive", "naive"])
-def test_quantified_workload(benchmark, mode):
+def test_quantified_workload(benchmark, evaluate, mode):
     db = set_database("s", 14, universe=18, max_size=4, seed=9)
     result = benchmark(
         lambda: evaluate(SETS, db, semi_naive=(mode == "seminaive"))

@@ -11,7 +11,6 @@ import pytest
 from repro import parse_program
 from repro.workloads import set_database
 
-from .conftest import evaluate
 
 DISJ = """
 disj(X, Y) :- s(X), s(Y), forall A in X (forall B in Y (A != B)).
@@ -29,7 +28,7 @@ un(X, Y, Z) :- s(X), s(Y), s(Z),
 
 
 @pytest.mark.parametrize("n_sets", [8, 16, 32])
-def test_disj_scaling(benchmark, n_sets):
+def test_disj_scaling(benchmark, evaluate, n_sets):
     db = set_database("s", n_sets, universe=20, max_size=5, seed=1)
     program = parse_program(DISJ)
     result = benchmark(lambda: evaluate(program, db))
@@ -37,7 +36,7 @@ def test_disj_scaling(benchmark, n_sets):
 
 
 @pytest.mark.parametrize("n_sets", [8, 16, 32])
-def test_subset_scaling(benchmark, n_sets):
+def test_subset_scaling(benchmark, evaluate, n_sets):
     db = set_database("s", n_sets, universe=20, max_size=5, seed=2)
     program = parse_program(SUBSET)
     result = benchmark(lambda: evaluate(program, db))
@@ -46,7 +45,7 @@ def test_subset_scaling(benchmark, n_sets):
 
 
 @pytest.mark.parametrize("n_sets", [6, 10])
-def test_union_scaling(benchmark, n_sets):
+def test_union_scaling(benchmark, evaluate, n_sets):
     db = set_database("s", n_sets, universe=12, max_size=4, seed=3)
     program = parse_program(UNION)
     result = benchmark(lambda: evaluate(program, db))

@@ -10,11 +10,9 @@ import pytest
 from repro.core import Program, atom, const, fact
 from repro.transform import setof_program
 
-from .conftest import evaluate
-
 
 @pytest.mark.parametrize("n_witnesses", [2, 4, 6, 8])
-def test_setof_scaling(benchmark, n_witnesses):
+def test_setof_scaling(benchmark, evaluate, n_witnesses):
     base = Program.of(*(
         fact(atom("a", const(f"w{i}"))) for i in range(n_witnesses)
     ))
@@ -26,7 +24,7 @@ def test_setof_scaling(benchmark, n_witnesses):
 
 
 @pytest.mark.parametrize("n_witnesses", [2, 4, 6])
-def test_grouping_vs_setof(benchmark, n_witnesses):
+def test_grouping_vs_setof(benchmark, evaluate, n_witnesses):
     """The LDL-grouping route to the same set — linear, not exponential."""
     from repro import parse_program
     from repro.engine import Database

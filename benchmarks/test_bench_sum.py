@@ -13,7 +13,6 @@ from repro.engine import Database, TopDownProver
 from repro.engine.setops import with_set_builtins
 from repro.workloads import number_set
 
-from .conftest import evaluate
 
 RULES = """
 need(Z) :- target(Z).
@@ -25,7 +24,7 @@ total(K) :- target(Z), sum(Z, K).
 
 
 @pytest.mark.parametrize("size", [4, 8, 16, 32])
-def test_sum_bottom_up(benchmark, size):
+def test_sum_bottom_up(benchmark, evaluate, size):
     numbers = number_set(size, seed=size)
     db = Database()
     db.add("target", numbers)

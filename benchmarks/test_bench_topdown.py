@@ -12,7 +12,6 @@ from repro.engine import Database, TopDownProver
 from repro.engine.setops import with_set_builtins
 from repro.workloads import chain_graph
 
-from .conftest import evaluate
 
 TC_SRC = """
 t(X, Y) :- e(X, Y).
@@ -28,7 +27,7 @@ def chain_db(n):
 
 
 @pytest.mark.parametrize("n", [16, 32])
-def test_bottom_up_full_closure(benchmark, n):
+def test_bottom_up_full_closure(benchmark, evaluate, n):
     db = chain_db(n)
     program = parse_program(TC_SRC)
     result = benchmark(lambda: evaluate(program, db))

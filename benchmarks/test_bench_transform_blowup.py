@@ -13,7 +13,6 @@ from repro.core.formulas import AtomF, ExistsIn, ForallIn, conj, disj
 from repro.transform import compile_program
 from repro.workloads import set_database
 
-from .conftest import evaluate
 
 x, y, z = var_a("x"), var_a("y"), var_a("z")
 X, Y, Z = var_s("X"), var_s("Y"), var_s("Z")
@@ -48,7 +47,7 @@ def test_compile_time_and_size(benchmark, depth, faithful):
 
 
 @pytest.mark.parametrize("faithful", [False, True])
-def test_evaluation_of_compiled_union(benchmark, faithful):
+def test_evaluation_of_compiled_union(benchmark, evaluate, faithful):
     """Evaluate the two compilations of the union rule on the same sets."""
     body = conj(
         ForallIn(x, X, AtomF(member(x, Z))),

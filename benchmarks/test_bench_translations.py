@@ -12,7 +12,6 @@ from repro.engine import Database
 from repro.transform import to_horn_scons, to_horn_union
 from repro.workloads import random_sets
 
-from .conftest import evaluate
 
 x = var_a("x")
 X, Y = var_s("X"), var_s("Y")
@@ -33,14 +32,14 @@ def sets_db(n):
 
 
 @pytest.mark.parametrize("n_sets", [6, 12])
-def test_native_elps(benchmark, n_sets):
+def test_native_elps(benchmark, evaluate, n_sets):
     db = sets_db(n_sets)
     result = benchmark(lambda: evaluate(subs_program(), db))
     assert result.relation("subs")
 
 
 @pytest.mark.parametrize("n_sets", [6, 12])
-def test_horn_union(benchmark, n_sets):
+def test_horn_union(benchmark, evaluate, n_sets):
     db = sets_db(n_sets)
     program = to_horn_union(subs_program())
     result = benchmark(lambda: evaluate(program, db))
@@ -48,7 +47,7 @@ def test_horn_union(benchmark, n_sets):
 
 
 @pytest.mark.parametrize("n_sets", [6, 12])
-def test_horn_scons(benchmark, n_sets):
+def test_horn_scons(benchmark, evaluate, n_sets):
     db = sets_db(n_sets)
     program = to_horn_scons(subs_program())
     result = benchmark(lambda: evaluate(program, db))

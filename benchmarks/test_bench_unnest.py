@@ -17,7 +17,6 @@ from repro.nested import (
 )
 from repro.workloads import nested_relation_rows
 
-from .conftest import evaluate
 
 SCHEMA = Schema.of("k", "vals*")
 
@@ -37,7 +36,7 @@ def test_unnest_algebra(benchmark, rows, width):
 
 
 @pytest.mark.parametrize("rows,width", [(50, 4), (100, 8), (200, 16)])
-def test_unnest_lps_rule(benchmark, rows, width):
+def test_unnest_lps_rule(benchmark, evaluate, rows, width):
     r = make_relation(rows, width)
     db = relation_to_database(r, "r")
     program = unnest_program(SCHEMA, "vals", "r", "s")

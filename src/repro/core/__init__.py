@@ -48,7 +48,7 @@ from .terms import (
     var_u,
 )
 from .substitution import EMPTY_SUBST, Subst
-from .atoms import Atom, Literal, atom, equals, member, neg, pos
+from .atoms import Atom, Literal, atom, atom_order_key, equals, member, neg, pos
 from .formulas import (
     AndF,
     AtomF,
@@ -101,7 +101,8 @@ __all__ = [
     # substitution
     "Subst", "EMPTY_SUBST",
     # atoms
-    "Atom", "Literal", "atom", "equals", "member", "pos", "neg",
+    "Atom", "Literal", "atom", "atom_order_key", "equals", "member",
+    "pos", "neg",
     # formulas
     "Formula", "TrueF", "TRUE", "AtomF", "NotF", "AndF", "OrF",
     "ForallIn", "ExistsIn", "atomf", "conj", "disj", "walk", "atoms_of",

@@ -14,15 +14,51 @@ from dataclasses import dataclass
 from .errors import SortError
 from .sorts import EQUALS, MEMBER, SORT_A, SORT_S, is_special_predicate, sorts_compatible
 from .substitution import Subst
-from .terms import Term, Var, free_vars as term_free_vars
+from .terms import Term, Var, _collect_vars, order_key
 
 
-@dataclass(frozen=True, slots=True)
 class Atom:
-    """An atomic formula ``p(t1, ..., tn)``."""
+    """An atomic formula ``p(t1, ..., tn)``.
 
-    pred: str
-    args: tuple[Term, ...]
+    Atoms are the unit of storage in interpretations and the unit of work in
+    matching, so (like the term nodes — see DESIGN.md) they cache their hash,
+    groundness and free variables in slots.  Immutable by contract.
+    """
+
+    __slots__ = ("pred", "args", "_hash", "_ground", "_fv")
+
+    def __init__(self, pred: str, args: tuple[Term, ...]) -> None:
+        self.pred = pred
+        self.args = args
+        self._hash = -1
+        self._ground = None
+        self._fv = None
+
+    def __getnewargs__(self):  # pragma: no cover - pickling support
+        return (self.pred, self.args)
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if other.__class__ is not Atom:
+            return NotImplemented
+        if (
+            self._hash != -1
+            and other._hash != -1
+            and self._hash != other._hash
+        ):
+            return False
+        return self.pred == other.pred and self.args == other.args
+
+    def __hash__(self) -> int:
+        h = self._hash
+        if h == -1:
+            h = hash((Atom, self.pred, self.args))
+            self._hash = h
+        return h
+
+    def __repr__(self) -> str:
+        return f"Atom(pred={self.pred!r}, args={self.args!r})"
 
     @property
     def arity(self) -> int:
@@ -33,16 +69,36 @@ class Atom:
         return is_special_predicate(self.pred)
 
     def is_ground(self) -> bool:
-        return all(a.is_ground() for a in self.args)
+        g = self._ground
+        if g is None:
+            g = all(a.is_ground() for a in self.args)
+            self._ground = g
+        return g
 
-    def free_vars(self) -> set[Var]:
-        out: set[Var] = set()
-        for a in self.args:
-            out |= term_free_vars(a)
-        return out
+    def free_vars(self) -> frozenset[Var]:
+        fv = self._fv
+        if fv is None:
+            out: set[Var] = set()
+            for a in self.args:
+                _collect_vars(a, out)
+            fv = frozenset(out)
+            self._fv = fv
+        return fv
 
     def substitute(self, theta: Subst) -> "Atom":
-        return Atom(self.pred, tuple(theta.apply(a) for a in self.args))
+        apply = theta.apply
+        out = []
+        changed = False
+        for a in self.args:
+            b = apply(a)
+            if b is not a:
+                changed = True
+            out.append(b)
+        if not changed:
+            # Unchanged atoms keep their identity — and with it their cached
+            # hash, groundness and free variables.
+            return self
+        return Atom(self.pred, tuple(out))
 
     def __str__(self) -> str:
         if self.pred == EQUALS and len(self.args) == 2:
@@ -57,6 +113,15 @@ class Atom:
 def atom(pred: str, *args: Term) -> Atom:
     """Convenience constructor for an atom."""
     return Atom(pred, tuple(args))
+
+
+def atom_order_key(a: Atom):
+    """A total-order key over ground atoms (predicate, then argument order).
+
+    Deterministic without stringifying, unlike ``key=str`` — use this for
+    stable fact orderings in query results and pretty-printing.
+    """
+    return (a.pred, len(a.args), tuple(order_key(t) for t in a.args))
 
 
 def equals(left: Term, right: Term) -> Atom:

@@ -135,8 +135,12 @@ class LPSClause:
 
     def substitute(self, theta: Subst) -> "LPSClause":
         """Apply a substitution, avoiding capture of the quantified variables."""
-        outer = Subst({v: t for v, t in theta.items()
-                       if v not in self.quantified_vars()})
+        quantified = self.quantified_vars()
+        if quantified and any(v in theta for v in quantified):
+            outer = Subst._make({v: t for v, t in theta.items()
+                                 if v not in quantified})
+        else:
+            outer = theta
         return LPSClause(
             head=self.head.substitute(outer),
             quantifiers=tuple(
@@ -166,7 +170,7 @@ class LPSClause:
         bound_vars = [v for v, _ in inst.quantifiers]
         literals: list[Literal] = []
         for combo in itertools.product(*ranges):
-            rho = Subst(dict(zip(bound_vars, combo)))
+            rho = Subst._checked(dict(zip(bound_vars, combo)))
             for lit in inst.body:
                 glit = lit.substitute(rho)
                 if not glit.is_ground():

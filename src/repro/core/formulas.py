@@ -174,14 +174,19 @@ class ForallIn(Formula):
         _check_quantifier(self.var, self.source)
 
     def free_vars(self) -> set[Var]:
-        out = self.body.free_vars()
+        out = set(self.body.free_vars())
         out.discard(self.var)
         from .terms import free_vars as tfv
         out |= tfv(self.source)
         return out
 
     def substitute(self, theta: Subst) -> "Formula":
-        inner = Subst({v: t for v, t in theta.items() if v != self.var})
+        if self.var in theta:
+            inner = Subst._make(
+                {v: t for v, t in theta.items() if v != self.var}
+            )
+        else:
+            inner = theta
         return ForallIn(self.var, theta.apply(self.source), self.body.substitute(inner))
 
     def is_positive(self) -> bool:
@@ -207,14 +212,19 @@ class ExistsIn(Formula):
         _check_quantifier(self.var, self.source)
 
     def free_vars(self) -> set[Var]:
-        out = self.body.free_vars()
+        out = set(self.body.free_vars())
         out.discard(self.var)
         from .terms import free_vars as tfv
         out |= tfv(self.source)
         return out
 
     def substitute(self, theta: Subst) -> "Formula":
-        inner = Subst({v: t for v, t in theta.items() if v != self.var})
+        if self.var in theta:
+            inner = Subst._make(
+                {v: t for v, t in theta.items() if v != self.var}
+            )
+        else:
+            inner = theta
         return ExistsIn(self.var, theta.apply(self.source), self.body.substitute(inner))
 
     def is_positive(self) -> bool:
@@ -306,7 +316,10 @@ def evaluate(formula: Formula, holds: HoldsOracle) -> bool:
                 f"cannot evaluate quantifier over non-ground range {source}"
             )
         instances = (
-            evaluate(formula.body.substitute(Subst({formula.var: e})), holds)
+            evaluate(
+                formula.body.substitute(Subst._checked({formula.var: e})),
+                holds,
+            )
             for e in source.sorted_elems()
         )
         if isinstance(formula, ForallIn):

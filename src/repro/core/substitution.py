@@ -5,6 +5,21 @@ substitution canonicalizes on the fly, so ground set constructors collapse to
 canonical :class:`~repro.core.terms.SetValue` objects — this is what makes a
 "ground instance" of a clause (Definition in Section 3) live in the Herbrand
 universe of Definition 7 rather than in a free term algebra.
+
+Performance architecture (see DESIGN.md).  ``Subst`` objects are created at
+an enormous rate by unification, matching and the solver, and the public
+constructor's full validation (variable check, sort check, canonicalize) is
+wasted work when the bindings provably satisfy the invariants already.  The
+engine therefore uses two internal constructors:
+
+* :meth:`Subst._make` — adopt a dict of already-validated, already-canonical
+  bindings without any checking (the caller owns the dict);
+* :meth:`Subst._checked` — like ``_make`` but re-checks sort compatibility
+  (used when binding quantified variables to set elements, where ELPS
+  nesting could smuggle a set into a sort-``a`` variable).
+
+``bind`` validates only the *new* binding, and ``apply`` short-circuits
+ground terms, whose canonical form is cached on the term nodes themselves.
 """
 
 from __future__ import annotations
@@ -24,7 +39,7 @@ class Subst(Mapping[Var, Term]):
     term, and an ELPS ``u`` variable to anything.
     """
 
-    __slots__ = ("_map",)
+    __slots__ = ("_map", "_hash")
 
     def __init__(self, bindings: Optional[Mapping[Var, Term]] = None) -> None:
         mapping: dict[Var, Term] = {}
@@ -38,6 +53,30 @@ class Subst(Mapping[Var, Term]):
                     )
                 mapping[v] = canonicalize(t)
         self._map = mapping
+        self._hash = -1
+
+    # -- internal fast constructors ------------------------------------------
+    @classmethod
+    def _make(cls, mapping: dict[Var, Term]) -> "Subst":
+        """Adopt ``mapping`` without validation.
+
+        The caller guarantees keys are :class:`Var`, values are canonical
+        terms of compatible sort, and the dict is not aliased elsewhere.
+        """
+        self = object.__new__(cls)
+        self._map = mapping
+        self._hash = -1
+        return self
+
+    @classmethod
+    def _checked(cls, mapping: dict[Var, Term]) -> "Subst":
+        """Adopt canonical values but still verify sort compatibility."""
+        for v, t in mapping.items():
+            if not sorts_compatible(v.var_sort, t.sort):
+                raise SortError(
+                    f"cannot bind {v} (sort {v.sort}) to {t} (sort {t.sort})"
+                )
+        return cls._make(mapping)
 
     # -- Mapping interface ---------------------------------------------------
     def __getitem__(self, key: Var) -> Term:
@@ -48,6 +87,9 @@ class Subst(Mapping[Var, Term]):
 
     def __len__(self) -> int:
         return len(self._map)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._map
 
     def __repr__(self) -> str:
         inner = ", ".join(f"{v}/{t}" for v, t in sorted(
@@ -60,50 +102,91 @@ class Subst(Mapping[Var, Term]):
         return NotImplemented
 
     def __hash__(self) -> int:
-        return hash(frozenset(self._map.items()))
+        h = self._hash
+        if h == -1:
+            h = hash(frozenset(self._map.items()))
+            if h == -1:  # pragma: no cover - hash() never returns -1
+                h = -2
+            self._hash = h
+        return h
 
     # -- Core operations -----------------------------------------------------
     def apply(self, term: Term) -> Term:
         """Apply the substitution to a term, canonicalizing ground sets."""
+        # Fast paths: canonical ground nodes pass through untouched, and
+        # ground subtrees skip the rebuild entirely (their canonical form is
+        # memoized on the node).
+        cls = term.__class__
+        if cls is Const or cls is SetValue:
+            return term
+        if cls is Var:
+            return self._resolve(term)
+        if not self._map or term.is_ground():
+            return canonicalize(term)
         return canonicalize(self._apply(term))
 
-    def _apply(self, term: Term) -> Term:
-        if isinstance(term, Var):
-            # Follow variable chains (x → y → t) so that substitutions built
-            # incrementally by unification resolve fully; the occurs check in
-            # unification keeps the chains acyclic, and the seen-guard makes
-            # misuse fail cleanly rather than loop.
-            seen = None
-            while isinstance(term, Var) and term in self._map:
-                if seen is None:
-                    seen = {term}
-                elif term in seen:
-                    return term  # defensive: cyclic binding
-                else:
-                    seen.add(term)
-                term = self._map[term]
-            if isinstance(term, Var):
-                return term
-            return self._apply(term)
-        if isinstance(term, (Const, SetValue)):
+    def _resolve(self, term: Term) -> Term:
+        # Follow variable chains (x → y → t) so that substitutions built
+        # incrementally by unification resolve fully; the occurs check in
+        # unification keeps the chains acyclic, and the seen-guard makes
+        # misuse fail cleanly rather than loop.  The single-hop case — by
+        # far the most common — allocates nothing.
+        m = self._map
+        nxt = m.get(term)
+        if nxt is None:
             return term
-        if isinstance(term, App):
+        cls = nxt.__class__
+        if cls is Const or cls is SetValue:
+            return nxt
+        if cls is not Var:
+            return self.apply(nxt)
+        seen = {term}
+        term = nxt
+        while isinstance(term, Var):
+            nxt = m.get(term)
+            if nxt is None:
+                return term
+            if term in seen:
+                return term  # defensive: cyclic binding
+            seen.add(term)
+            term = nxt
+        return self.apply(term)
+
+    def _apply(self, term: Term) -> Term:
+        cls = term.__class__
+        if cls is Var:
+            return self._resolve(term)
+        if cls is Const or cls is SetValue:
+            return term
+        if term.is_ground():
+            return term
+        if cls is App:
             return App(term.fname, tuple(self._apply(a) for a in term.args))
-        if isinstance(term, SetExpr):
+        if cls is SetExpr:
             return SetExpr(tuple(self._apply(e) for e in term.elems))
         raise TypeError(f"not a term: {term!r}")
 
     def bind(self, var: Var, term: Term) -> "Subst":
         """Return a new substitution with one extra binding."""
+        if not sorts_compatible(var.var_sort, term.sort):
+            raise SortError(
+                f"cannot bind {var} (sort {var.sort}) to {term} "
+                f"(sort {term.sort})"
+            )
         new = dict(self._map)
-        new[var] = term
-        return Subst(new)
+        new[var] = canonicalize(term)
+        return Subst._make(new)
 
     def extend(self, bindings: Mapping[Var, Term]) -> "Subst":
         """Return a new substitution with the extra ``bindings`` added."""
         new = dict(self._map)
-        new.update(bindings)
-        return Subst(new)
+        for v, t in bindings.items():
+            if not sorts_compatible(v.var_sort, t.sort):
+                raise SortError(
+                    f"cannot bind {v} (sort {v.sort}) to {t} (sort {t.sort})"
+                )
+            new[v] = canonicalize(t)
+        return Subst._make(new)
 
     def compose(self, other: "Subst") -> "Subst":
         """Composition ``self ; other``: apply ``self`` first, then ``other``.
@@ -114,16 +197,20 @@ class Subst(Mapping[Var, Term]):
         for v, t in other._map.items():
             if v not in new:
                 new[v] = t
+        # Not a hot path — keep the validating constructor: applying `other`
+        # can change a binding's sort through u-sorted variable chains, and
+        # that must keep raising SortError at the violation point.
         return Subst(new)
 
     def restrict(self, variables: Iterable[Var]) -> "Subst":
         """Restrict the domain to the given variables."""
-        keep = set(variables)
-        return Subst({v: t for v, t in self._map.items() if v in keep})
+        keep = variables if isinstance(variables, (set, frozenset)) else set(variables)
+        return Subst._make({v: t for v, t in self._map.items() if v in keep})
 
     def is_ground_for(self, variables: Iterable[Var]) -> bool:
         """Whether every listed variable is bound to a ground term."""
-        return all(v in self._map and self._map[v].is_ground() for v in variables)
+        m = self._map
+        return all(v in m and m[v].is_ground() for v in variables)
 
 
 #: The empty substitution.

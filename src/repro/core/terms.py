@@ -27,11 +27,32 @@ set identity, as Lemma 1 requires.
 In ELPS (Section 5) elements of a :class:`SetValue` may themselves be
 :class:`SetValue` objects, giving arbitrarily nested finite sets;
 :func:`nesting_depth` measures the nesting and LPS mode rejects depth > 1.
+
+Performance architecture (see DESIGN.md).  Term nodes sit on every hot path
+of the engine — set membership against interpretations, substitution
+application, unification — so this module trades the convenience of frozen
+dataclasses for hand-written classes with three properties:
+
+* **Interning.**  :class:`Const`, :class:`Var` and :class:`SetValue` are
+  hash-consed through weak-valued intern tables: constructing an equal term
+  returns the *same* object, so ``==`` is usually pointer comparison and the
+  per-object validation (sort checks, groundness of set elements) runs once
+  per distinct term rather than once per construction.
+* **Cached hashes.**  Every node computes its hash once (eagerly for the
+  interned classes, lazily for :class:`App`/:class:`SetExpr`) and stores it
+  in a slot; repeated set/dict lookups no longer re-hash whole subtrees.
+* **Memoized derived facts.**  ``is_ground`` and :func:`canonicalize`
+  results are cached per node, and :meth:`SetValue.sorted_elems` keeps its
+  deterministic ordering, so quantifier unfolding does not re-sort the same
+  range set on every solver step.
+
+Terms remain immutable by contract: no code in the repository mutates a
+constructed node, and the caches above depend on that.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import weakref
 from typing import Iterable, Iterator, Union
 
 from .errors import SortError
@@ -51,7 +72,19 @@ class Term:
         raise NotImplementedError
 
 
-@dataclass(frozen=True, slots=True)
+#: Intern tables (weak-valued so long-running sessions do not leak renamed
+#: variables or transient derived sets).
+_VAR_INTERN: "weakref.WeakValueDictionary[tuple[str, str], Var]" = (
+    weakref.WeakValueDictionary()
+)
+_CONST_INTERN: "weakref.WeakValueDictionary[tuple, Const]" = (
+    weakref.WeakValueDictionary()
+)
+_SET_INTERN: "weakref.WeakValueDictionary[frozenset, SetValue]" = (
+    weakref.WeakValueDictionary()
+)
+
+
 class Var(Term):
     """A variable, tagged with its sort.
 
@@ -60,11 +93,35 @@ class Var(Term):
     is authoritative.
     """
 
-    name: str
-    var_sort: str = SORT_A
+    __slots__ = ("name", "var_sort", "_hash", "__weakref__")
 
-    def __post_init__(self) -> None:
-        check_sort(self.var_sort)
+    def __new__(cls, name: str, var_sort: str = SORT_A) -> "Var":
+        key = (name, var_sort)
+        if cls is Var:
+            self = _VAR_INTERN.get(key)
+            if self is not None:
+                return self
+        check_sort(var_sort)
+        self = super().__new__(cls)
+        self.name = name
+        self.var_sort = var_sort
+        self._hash = hash((Var, name, var_sort))
+        if cls is Var:
+            _VAR_INTERN[key] = self
+        return self
+
+    def __getnewargs__(self):
+        return (self.name, self.var_sort)
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if other.__class__ is not Var:
+            return NotImplemented
+        return self.name == other.name and self.var_sort == other.var_sort
+
+    def __hash__(self) -> int:
+        return self._hash
 
     @property
     def sort(self) -> str:
@@ -83,7 +140,6 @@ class Var(Term):
 ConstPayload = Union[str, int]
 
 
-@dataclass(frozen=True, slots=True)
 class Const(Term):
     """A constant of sort ``a``.
 
@@ -91,7 +147,35 @@ class Const(Term):
     constant, used by the arithmetic built-ins of Examples 5 and 6).
     """
 
-    value: ConstPayload
+    __slots__ = ("value", "_hash", "__weakref__")
+
+    def __new__(cls, value: ConstPayload) -> "Const":
+        # Key by (type, value) so 1 and True stay distinct objects even
+        # though they compare equal (mirroring the dataclass semantics).
+        key = (value.__class__, value)
+        if cls is Const:
+            self = _CONST_INTERN.get(key)
+            if self is not None:
+                return self
+        self = super().__new__(cls)
+        self.value = value
+        self._hash = hash((Const, value))
+        if cls is Const:
+            _CONST_INTERN[key] = self
+        return self
+
+    def __getnewargs__(self):
+        return (self.value,)
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if other.__class__ is not Const:
+            return NotImplemented
+        return self.value == other.value
+
+    def __hash__(self) -> int:
+        return self._hash
 
     @property
     def sort(self) -> str:
@@ -107,7 +191,6 @@ class Const(Term):
         return str(self.value)
 
 
-@dataclass(frozen=True, slots=True)
 class App(Term):
     """Application ``f(t1, ..., tn)`` of an uninterpreted function symbol.
 
@@ -117,23 +200,54 @@ class App(Term):
     arguments (Definition 9(3)).
     """
 
-    fname: str
-    args: tuple[Term, ...]
+    __slots__ = ("fname", "args", "_hash", "_ground", "_canon")
 
-    def __post_init__(self) -> None:
-        for arg in self.args:
+    def __init__(self, fname: str, args: tuple[Term, ...]) -> None:
+        for arg in args:
             if arg.sort == SORT_S:
                 raise SortError(
-                    f"function {self.fname!r} applied to a set-sorted argument "
+                    f"function {fname!r} applied to a set-sorted argument "
                     f"{arg}; function symbols take sort-'a' arguments only"
                 )
+        self.fname = fname
+        self.args = args
+        self._hash = -1
+        self._ground = None
+        self._canon = None
+
+    def __getnewargs__(self):  # pragma: no cover - pickling support
+        return (self.fname, self.args)
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if other.__class__ is not App:
+            return NotImplemented
+        if (
+            self._hash != -1
+            and other._hash != -1
+            and self._hash != other._hash
+        ):
+            return False
+        return self.fname == other.fname and self.args == other.args
+
+    def __hash__(self) -> int:
+        h = self._hash
+        if h == -1:
+            h = hash((App, self.fname, self.args))
+            self._hash = h
+        return h
 
     @property
     def sort(self) -> str:
         return SORT_A
 
     def is_ground(self) -> bool:
-        return all(arg.is_ground() for arg in self.args)
+        g = self._ground
+        if g is None:
+            g = all(arg.is_ground() for arg in self.args)
+            self._ground = g
+        return g
 
     def __repr__(self) -> str:
         return f"App({self.fname!r}, {self.args!r})"
@@ -143,7 +257,6 @@ class App(Term):
         return f"{self.fname}({inner})"
 
 
-@dataclass(frozen=True, slots=True)
 class SetExpr(Term):
     """The syntactic set constructor ``{t1, ..., tn}`` (the paper's ``{_n``).
 
@@ -154,14 +267,41 @@ class SetExpr(Term):
     when ``strict_lps`` terms are checked by the clause layer, not here.
     """
 
-    elems: tuple[Term, ...]
+    __slots__ = ("elems", "_hash", "_ground", "_canon")
+
+    def __init__(self, elems: tuple[Term, ...]) -> None:
+        self.elems = elems
+        self._hash = -1
+        self._ground = None
+        self._canon = None
+
+    def __getnewargs__(self):  # pragma: no cover - pickling support
+        return (self.elems,)
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if other.__class__ is not SetExpr:
+            return NotImplemented
+        return self.elems == other.elems
+
+    def __hash__(self) -> int:
+        h = self._hash
+        if h == -1:
+            h = hash((SetExpr, self.elems))
+            self._hash = h
+        return h
 
     @property
     def sort(self) -> str:
         return SORT_S
 
     def is_ground(self) -> bool:
-        return all(e.is_ground() for e in self.elems)
+        g = self._ground
+        if g is None:
+            g = all(e.is_ground() for e in self.elems)
+            self._ground = g
+        return g
 
     def __repr__(self) -> str:
         return f"SetExpr({self.elems!r})"
@@ -171,19 +311,24 @@ class SetExpr(Term):
         return "{" + inner + "}"
 
 
-@dataclass(frozen=True, slots=True)
 class SetValue(Term):
     """A canonical ground finite set — an element of ``U_s`` (Definition 7).
 
     Wraps a ``frozenset`` of ground values.  Two set values are equal exactly
     when they contain the same elements, which is what makes Lemma 1 hold in
-    the implementation.
+    the implementation.  Interned: equal sets are the same object.
     """
 
-    elems: frozenset = field(default_factory=frozenset)
+    __slots__ = ("elems", "_hash", "_sorted", "__weakref__")
 
-    def __post_init__(self) -> None:
-        for e in self.elems:
+    def __new__(cls, elems: frozenset = frozenset()) -> "SetValue":
+        if elems.__class__ is not frozenset:
+            elems = frozenset(elems)
+        if cls is SetValue:
+            self = _SET_INTERN.get(elems)
+            if self is not None:
+                return self
+        for e in elems:
             if not isinstance(e, Term) or not e.is_ground():
                 raise SortError(f"SetValue element {e!r} is not a ground term")
             if isinstance(e, SetExpr):
@@ -191,6 +336,26 @@ class SetValue(Term):
                     "SetValue elements must be canonical; got a SetExpr "
                     f"{e!r} (canonicalize first)"
                 )
+        self = super().__new__(cls)
+        self.elems = elems
+        self._hash = hash((SetValue, elems))
+        self._sorted = None
+        if cls is SetValue:
+            _SET_INTERN[elems] = self
+        return self
+
+    def __getnewargs__(self):
+        return (self.elems,)
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if other.__class__ is not SetValue:
+            return NotImplemented
+        return self.elems == other.elems
+
+    def __hash__(self) -> int:
+        return self._hash
 
     @property
     def sort(self) -> str:
@@ -209,8 +374,15 @@ class SetValue(Term):
         return iter(self.elems)
 
     def sorted_elems(self) -> list[Term]:
-        """Elements in a deterministic order (for printing and iteration)."""
-        return sorted(self.elems, key=order_key)
+        """Elements in a deterministic order (for printing and iteration).
+
+        The list is computed once and cached; callers must not mutate it.
+        """
+        s = self._sorted
+        if s is None:
+            s = sorted(self.elems, key=order_key)
+            self._sorted = s
+        return s
 
     def __repr__(self) -> str:
         return f"SetValue({{{', '.join(map(repr, self.sorted_elems()))}}})"
@@ -237,18 +409,32 @@ def setvalue(elems: Iterable[Term]) -> SetValue:
 def canonicalize(term: Term) -> Term:
     """Rewrite every *ground* :class:`SetExpr` inside ``term`` to a :class:`SetValue`.
 
-    Non-ground subterms are left alone.  Idempotent.
+    Non-ground subterms are left alone.  Idempotent, and memoized per node.
     """
     if isinstance(term, (Var, Const, SetValue)):
         return term
     if isinstance(term, App):
-        new_args = tuple(canonicalize(a) for a in term.args)
-        return term if new_args == term.args else App(term.fname, new_args)
+        out = term._canon
+        if out is None:
+            new_args = tuple(canonicalize(a) for a in term.args)
+            out = term if new_args == term.args else App(term.fname, new_args)
+            term._canon = out
+            out._canon = out
+        return out
     if isinstance(term, SetExpr):
-        new_elems = tuple(canonicalize(e) for e in term.elems)
-        if all(e.is_ground() for e in new_elems):
-            return SetValue(frozenset(new_elems))
-        return SetExpr(new_elems)
+        out = term._canon
+        if out is None:
+            new_elems = tuple(canonicalize(e) for e in term.elems)
+            if all(e.is_ground() for e in new_elems):
+                out = SetValue(frozenset(new_elems))
+            elif new_elems == term.elems:
+                out = term
+            else:
+                out = SetExpr(new_elems)
+            term._canon = out
+            if out.__class__ is SetExpr:
+                out._canon = out
+        return out
     raise TypeError(f"not a term: {term!r}")
 
 

@@ -238,9 +238,69 @@ def _match_seq(
         yield from _match_seq(pats[1:], targets[1:], sigma)
 
 
+#: Sentinels for :func:`match_atom_fast`: "no match" vs "use the generic
+#: enumerator".  Part of the supported single-fact matching API — the
+#: evaluator's inner loop calls the fast path directly to avoid a generator
+#: per candidate fact.
+MATCH_FAILED = object()
+MATCH_REFUSED = object()
+
+
+def match_atom_fast(pattern: Atom, target: Atom, theta: Subst):
+    """One-shot match for patterns whose args are variables or ground terms.
+
+    In that shape matching is deterministic — every pattern variable is
+    forced to the fact's value at its position — so the generic enumerator
+    (with its per-step substitution copies and duplicate suppression) is
+    pure overhead.  Returns the extended substitution, ``MATCH_FAILED`` on a
+    mismatch, or ``MATCH_REFUSED`` when the pattern needs the generic path
+    (structured non-ground args, or variables already bound in ``theta``).
+    The caller must have checked predicate and arity already.
+    """
+    tmap = theta._map
+    binds: Optional[dict] = None
+    for p, t in zip(pattern.args, target.args):
+        if p.__class__ is Var:
+            if p in tmap:
+                return MATCH_REFUSED  # un-presubstituted pattern
+            if t.__class__ is SetExpr:
+                # A ground-but-uncanonical target arg must go through the
+                # generic path so the binding is canonicalized.
+                return MATCH_REFUSED
+            cur = None if binds is None else binds.get(p)
+            if cur is not None:
+                if cur is not t and cur != t:
+                    return MATCH_FAILED
+            else:
+                if not sorts_compatible(p.var_sort, t.sort):
+                    return MATCH_FAILED
+                if binds is None:
+                    binds = {}
+                binds[p] = t
+        elif p.__class__ is SetExpr:
+            # Even a ground SetExpr needs canonicalization before comparing.
+            return MATCH_REFUSED
+        elif p.is_ground():
+            if p is not t and p != t:
+                return MATCH_FAILED
+        else:
+            return MATCH_REFUSED  # e.g. App containing variables
+    if binds:
+        new = dict(tmap)
+        new.update(binds)
+        return Subst._make(new)
+    return theta
+
+
 def match_atom(pattern: Atom, target: Atom, theta: Subst = EMPTY_SUBST) -> Iterator[Subst]:
     """Enumerate matches of an atom pattern against a ground atom."""
     if pattern.pred != target.pred or pattern.arity != target.arity:
+        return
+    fast = match_atom_fast(pattern, target, theta)
+    if fast is MATCH_FAILED:
+        return
+    if fast is not MATCH_REFUSED:
+        yield fast
         return
     seen: set[Subst] = set()
     for sigma in _match_seq(pattern.args, target.args, theta):

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Any, Iterable, Iterator, Mapping
 
-from ..core.atoms import Atom
+from ..core.atoms import Atom, atom_order_key
 from ..core.clauses import LPSClause, fact
 from ..core.errors import EvaluationError
 from ..core.program import Program
@@ -93,7 +93,7 @@ class Database:
     def as_program(self) -> Program:
         """The database as a program of unit clauses."""
         return Program(tuple(fact(a) for a in sorted(
-            self.facts(), key=str)))
+            self.facts(), key=atom_order_key)))
 
     @staticmethod
     def from_mapping(data: Mapping[str, Iterable[tuple]]) -> "Database":

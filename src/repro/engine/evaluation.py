@@ -51,7 +51,7 @@ from ..core.formulas import (
     evaluate,
 )
 from ..core.program import Program
-from ..core.sorts import EQUALS, MEMBER, SORT_A, SORT_S, SORT_U
+from ..core.sorts import EQUALS, MEMBER, SORT_A, SORT_S, SORT_U, sorts_compatible
 from ..core.substitution import Subst
 from ..core.terms import (
     App,
@@ -64,8 +64,15 @@ from ..core.terms import (
     setvalue,
     subterms,
 )
-from ..core.unify import match_atom, unify
-from ..semantics.interpretation import Interpretation
+from ..core.atoms import atom_order_key
+from ..core.unify import (
+    MATCH_FAILED,
+    MATCH_REFUSED,
+    match_atom,
+    match_atom_fast,
+    unify,
+)
+from ..semantics.interpretation import INDEX_MIN_FACTS, Interpretation
 from .builtins import DEFAULT_BUILTINS, Builtin
 from .database import Database, from_term
 from .stratify import Stratification, stratify
@@ -91,6 +98,7 @@ class ActiveDomain:
         self._atoms: dict[Term, None] = {}
         self._sets: dict[SetValue, None] = {setvalue(()): None}
         self.version = 0
+        self._carrier_cache: dict[str, tuple[int, list[Term]]] = {}
 
     def note_term(self, t: Term) -> None:
         for s in subterms(t):
@@ -108,12 +116,32 @@ class ActiveDomain:
             self.note_term(t)
 
     def carrier(self, sort: str) -> list[Term]:
+        """The carrier list of a sort, cached per domain version.
+
+        Callers must treat the returned list as read-only; fallback
+        enumeration asks for carriers far more often than the domain grows.
+        """
+        cached = self._carrier_cache.get(sort)
+        if cached is not None and cached[0] == self.version:
+            return cached[1]
         if sort == SORT_A:
-            return list(self._atoms)
+            out: list[Term] = list(self._atoms)
+        elif sort == SORT_S:
+            out = list(self._sets)
+        elif sort == SORT_U:
+            out = list(self._atoms) + list(self._sets)
+        else:
+            raise EvaluationError(f"unknown sort {sort!r}")
+        self._carrier_cache[sort] = (self.version, out)
+        return out
+
+    def carrier_size(self, sort: str) -> int:
+        if sort == SORT_A:
+            return len(self._atoms)
         if sort == SORT_S:
-            return list(self._sets)
+            return len(self._sets)
         if sort == SORT_U:
-            return list(self._atoms) + list(self._sets)
+            return len(self._atoms) + len(self._sets)
         raise EvaluationError(f"unknown sort {sort!r}")
 
     @property
@@ -153,6 +181,8 @@ class Solver:
         fallback_limit: Optional[int] = DEFAULT_FALLBACK_LIMIT,
         stats: Optional[SolverStats] = None,
         delta: Optional[Mapping[str, frozenset[Atom]]] = None,
+        use_indexes: bool = True,
+        plan_joins: bool = True,
     ) -> None:
         self.interp = interp
         self.domain = domain
@@ -161,13 +191,23 @@ class Solver:
         self.fallback_limit = fallback_limit
         self.stats = stats if stats is not None else SolverStats()
         self.delta = delta
-        self._index_cache: dict[tuple[str, tuple[int, ...]], tuple[int, dict]] = {}
+        self.use_indexes = use_indexes
+        self.plan_joins = plan_joins
+        # Memoized restricted-quantifier unfoldings, keyed by (formula,
+        # ground range set): the expansion is the same for every candidate
+        # binding, so re-substituting per solver step is pure waste.
+        self._forall_cache: dict[tuple, Formula] = {}
+        self._exists_cache: dict[tuple, list[Formula]] = {}
 
     # -- public entry -----------------------------------------------------------
 
-    def solve(self, f: Formula, env: Subst = Subst()) -> Iterator[Subst]:
+    def solve(
+        self, f: Formula, env: Subst = Subst(), fv=None
+    ) -> Iterator[Subst]:
+        if fv is None:
+            fv = f.free_vars()
         for out in self._solve(f, env):
-            yield from self._complete(f, out)
+            yield from self._complete_fv(f, fv, out)
 
     # -- helpers ----------------------------------------------------------------
 
@@ -177,12 +217,16 @@ class Solver:
             key=lambda v: (v.sort, v.name),
         )
 
-    def _complete(self, f: Formula, env: Subst) -> Iterator[Subst]:
-        """Bind any remaining free variables of ``f`` from the domain."""
-        missing = self._unbound(f, env)
+    def _complete_fv(
+        self, f: Formula, fv: Iterable[Var], env: Subst
+    ) -> Iterator[Subst]:
+        """Like :meth:`_complete` with the free variables precomputed."""
+        emap = env._map
+        missing = [v for v in fv if v not in emap]
         if not missing:
             yield env
             return
+        missing.sort(key=lambda v: (v.var_sort, v.name))
         self._require_fallback(missing, f)
         carriers = [self.domain.carrier(v.sort) for v in missing]
         total = 1
@@ -214,9 +258,21 @@ class Solver:
 
     # -- readiness / priority -----------------------------------------------------
 
-    def _priority(self, f: Formula, env: Subst) -> Optional[tuple]:
-        """Scheduling priority (lower = sooner); ``None`` = not ready."""
-        unbound = len(self._unbound(f, env))
+    def _priority(
+        self, f: Formula, env: Subst, fv: Optional[Iterable[Var]] = None
+    ) -> Optional[tuple]:
+        """Scheduling priority (lower = sooner); ``None`` = not ready.
+
+        For relational atoms the second component is an **estimated result
+        cardinality** taken from the argument indexes (the exact size of the
+        index bucket the join step would scan), so conjunctions are joined
+        smallest-relation-first instead of most-bound-first.  This is the
+        boundness-driven join planner of DESIGN.md; disable with
+        ``plan_joins=False`` to fall back to the bound-argument heuristic.
+        """
+        if fv is None:
+            fv = f.free_vars()
+        unbound = sum(1 for v in fv if v not in env)
         if isinstance(f, TrueF):
             return (0, 0)
         if unbound == 0:
@@ -243,9 +299,16 @@ class Solver:
                 if isinstance(container, SetValue):
                     return (3, unbound)
                 return None
-            # Relational atom: prefer more bound arguments.
-            bound = sum(1 for t in a.args if env.apply(t).is_ground())
-            return (4, -bound, unbound)
+            # Relational atom: join-plan by estimated selectivity.
+            args = [env.apply(t) for t in a.args]
+            bound_pos = tuple(
+                i for i, t in enumerate(args)
+                if not isinstance(t, SetExpr) and t.is_ground()
+            )
+            if not self.plan_joins:
+                return (4, 0, -len(bound_pos), unbound)
+            est = self._estimate(a.pred, args, bound_pos)
+            return (4, est, -len(bound_pos), unbound)
         if isinstance(f, ExistsIn):
             if isinstance(env.apply(f.source), SetValue):
                 return (5, unbound)
@@ -257,6 +320,21 @@ class Solver:
                 return (7, unbound)
             return None
         return None
+
+    def _estimate(
+        self, pred: str, args: Sequence[Term], bound_pos: tuple[int, ...]
+    ) -> int:
+        """Exact candidate count for a relational conjunct under ``env``."""
+        if self.delta is not None and pred in self.delta:
+            return len(self.delta[pred])
+        facts = self.interp.facts_of(pred)
+        n = len(facts)
+        if not bound_pos:
+            return n
+        if not self.use_indexes or n < INDEX_MIN_FACTS:
+            return n
+        key = tuple(args[i] for i in bound_pos)
+        return self.interp.candidate_count(pred, bound_pos, key)
 
     # -- dispatch ---------------------------------------------------------------
 
@@ -303,8 +381,22 @@ class Solver:
         if a.pred == MEMBER:
             elem, container = env.apply(a.args[0]), env.apply(a.args[1])
             if isinstance(container, SetValue):
-                for e in container.sorted_elems():
-                    yield from unify(elem, e, env)
+                cls = elem.__class__
+                if cls is Var:
+                    # Deterministic generate: one binding per element.
+                    emap = env._map
+                    sort = elem.var_sort
+                    for e in container.sorted_elems():
+                        if sorts_compatible(sort, e.sort):
+                            new = dict(emap)
+                            new[elem] = e
+                            yield Subst._make(new)
+                elif cls is not SetExpr and elem.is_ground():
+                    if elem in container.elems:
+                        yield env
+                else:
+                    for e in container.sorted_elems():
+                        yield from unify(elem, e, env)
             else:
                 yield from self._solve_by_fallback(AtomF(a), env)
             return
@@ -317,32 +409,38 @@ class Solver:
             facts = self.delta[a.pred]
         else:
             facts = self._candidates(pattern)
+        stats = self.stats
+        arity = pattern.arity
         for f in facts:
-            self.stats.matches += 1
-            yield from match_atom(pattern, f, env)
+            stats.matches += 1
+            if f.arity != arity:
+                continue
+            out = match_atom_fast(pattern, f, env)
+            if out is MATCH_FAILED:
+                continue
+            if out is MATCH_REFUSED:
+                yield from match_atom(pattern, f, env)
+            else:
+                yield out
 
     def _candidates(self, pattern: Atom) -> Iterable[Atom]:
-        """Fact candidates via a lazily built hash index on bound positions."""
-        facts = self.interp.by_pred(pattern.pred)
+        """Fact candidates via the interpretation's incremental indexes.
+
+        The index is owned by the :class:`Interpretation` and maintained as
+        facts are added, so it is shared between rounds, rules and solver
+        instances instead of being rebuilt whenever the relation grows.
+        """
+        facts = self.interp.facts_of(pattern.pred)
+        if not self.use_indexes or len(facts) < INDEX_MIN_FACTS:
+            return facts
         bound_pos = tuple(
             i for i, t in enumerate(pattern.args)
-            if t.is_ground() and not isinstance(t, SetExpr)
+            if not isinstance(t, SetExpr) and t.is_ground()
         )
-        if not bound_pos or len(facts) < 16:
+        if not bound_pos:
             return facts
-        cache_key = (pattern.pred, bound_pos)
-        version = len(facts)
-        cached = self._index_cache.get(cache_key)
-        if cached is None or cached[0] != version:
-            index: dict[tuple, list[Atom]] = {}
-            for f in facts:
-                key = tuple(f.args[i] for i in bound_pos)
-                index.setdefault(key, []).append(f)
-            self._index_cache[cache_key] = (version, index)
-        else:
-            index = cached[1]
         key = tuple(pattern.args[i] for i in bound_pos)
-        return index.get(key, ())
+        return self.interp.candidates(pattern.pred, bound_pos, key)
 
     def _solve_by_fallback(self, f: Formula, env: Subst) -> Iterator[Subst]:
         """Enumerate one unbound variable and retry (used when stuck)."""
@@ -350,7 +448,7 @@ class Solver:
         if not unbound:
             return
         self._require_fallback(unbound[:1], f)
-        v = min(unbound, key=lambda u: len(self.domain.carrier(u.sort)))
+        v = min(unbound, key=lambda u: self.domain.carrier_size(u.sort))
         carrier = self.domain.carrier(v.sort)
         self._charge_fallback(len(carrier))
         for value in carrier:
@@ -376,42 +474,58 @@ class Solver:
         return self.interp.holds(a)
 
     def _solve_and(self, parts: list[Formula], env: Subst) -> Iterator[Subst]:
+        # Free variables per conjunct are computed once for the whole
+        # conjunction chain; only env membership changes while joining.
+        yield from self._solve_and_fv(
+            [(p, p.free_vars()) for p in parts], env
+        )
+
+    def _solve_and_fv(
+        self, parts: list[tuple[Formula, Iterable[Var]]], env: Subst
+    ) -> Iterator[Subst]:
         if not parts:
             yield env
             return
         best_i: Optional[int] = None
         best_p: Optional[tuple] = None
-        for i, p in enumerate(parts):
-            pr = self._priority(p, env)
+        for i, (p, fv) in enumerate(parts):
+            pr = self._priority(p, env, fv)
             if pr is not None and (best_p is None or pr < best_p):
                 best_i, best_p = i, pr
         if best_i is None:
             # Nothing ready: bind one variable from the domain and retry.
             all_vars: set[Var] = set()
-            for p in parts:
-                all_vars |= {v for v in p.free_vars() if v not in env}
+            for p, fv in parts:
+                all_vars |= {v for v in fv if v not in env}
             if not all_vars:
                 # All parts ground yet none "ready" — cannot happen, since
                 # ground formulas always have priority 0.
                 raise EvaluationError("scheduler stuck on ground conjunction")
-            self._require_fallback(sorted(all_vars, key=str)[:1], AndF(tuple(parts)))
-            v = min(all_vars, key=lambda u: (len(self.domain.carrier(u.sort)), u.name))
+            self._require_fallback(
+                sorted(all_vars, key=str)[:1],
+                AndF(tuple(p for p, _ in parts)),
+            )
+            v = min(
+                all_vars,
+                key=lambda u: (self.domain.carrier_size(u.sort), u.name),
+            )
             carrier = self.domain.carrier(v.sort)
             self._charge_fallback(len(carrier))
             for value in carrier:
-                yield from self._solve_and(parts, env.bind(v, value))
+                yield from self._solve_and_fv(parts, env.bind(v, value))
             return
-        chosen = parts[best_i]
+        chosen = parts[best_i][0]
         rest = parts[:best_i] + parts[best_i + 1:]
         for env2 in self._solve(chosen, env):
-            yield from self._solve_and(rest, env2)
+            yield from self._solve_and_fv(rest, env2)
 
     def _solve_or(self, f: OrF, env: Subst) -> Iterator[Subst]:
         seen: set[Subst] = set()
+        fv = f.free_vars()
         for part in f.parts:
             for env2 in self._solve(part, env):
-                for env3 in self._complete(f, env2):
-                    key = env3.restrict(f.free_vars())
+                for env3 in self._complete_fv(f, fv, env2):
+                    key = env3.restrict(fv)
                     if key not in seen:
                         seen.add(key)
                         yield env3
@@ -422,10 +536,18 @@ class Solver:
             yield from self._solve_by_fallback(f, env)
             return
         seen: set[Subst] = set()
-        for e in source.sorted_elems():
-            body = f.body.substitute(Subst({f.var: e}))
+        fv = f.free_vars()
+        cache_key = (f, source)
+        bodies = self._exists_cache.get(cache_key)
+        if bodies is None:
+            bodies = [
+                f.body.substitute(Subst._checked({f.var: e}))
+                for e in source.sorted_elems()
+            ]
+            self._exists_cache[cache_key] = bodies
+        for body in bodies:
             for env2 in self._solve(body, env):
-                key = env2.restrict(f.free_vars())
+                key = env2.restrict(fv)
                 if key not in seen:
                     seen.add(key)
                     yield env2
@@ -435,9 +557,14 @@ class Solver:
         if not isinstance(source, SetValue):
             yield from self._solve_by_fallback(f, env)
             return
-        expansion = conj(*(
-            f.body.substitute(Subst({f.var: e})) for e in source.sorted_elems()
-        ))
+        cache_key = (f, source)
+        expansion = self._forall_cache.get(cache_key)
+        if expansion is None:
+            expansion = conj(*(
+                f.body.substitute(Subst._checked({f.var: e}))
+                for e in source.sorted_elems()
+            ))
+            self._forall_cache[cache_key] = expansion
         yield from self._solve(expansion, env)
 
 
@@ -456,6 +583,11 @@ class EvalOptions:
     ``fallback_limit``  — abort if fallback enumerations exceed this many
                           candidate bindings (per run).
     ``max_rounds``      — abort runaway fixpoints.
+    ``use_indexes``     — consult the interpretation's incremental argument
+                          indexes when matching facts (off = linear scans;
+                          semantics-identical, for testing and measurement).
+    ``plan_joins``      — order conjuncts by estimated selectivity from the
+                          indexes (off = bound-argument-count heuristic).
     """
 
     semi_naive: bool = True
@@ -463,6 +595,8 @@ class EvalOptions:
     fallback_limit: Optional[int] = DEFAULT_FALLBACK_LIMIT
     max_rounds: int = DEFAULT_MAX_ROUNDS
     track_provenance: bool = False
+    use_indexes: bool = True
+    plan_joins: bool = True
 
 
 @dataclass
@@ -525,7 +659,7 @@ class Model:
 
     def query(self, pattern: Atom) -> Iterator[Subst]:
         """All substitutions matching a pattern atom against the model."""
-        for f in sorted(self._interp.by_pred(pattern.pred), key=str):
+        for f in sorted(self._interp.facts_of(pattern.pred), key=atom_order_key):
             yield from match_atom(pattern, f)
 
     def query_str(self, text: str) -> list[dict[str, Any]]:
@@ -687,6 +821,8 @@ class Evaluator:
                 allow_fallback=self.options.allow_fallback,
                 fallback_limit=self.options.fallback_limit,
                 stats=report.stats,
+                use_indexes=self.options.use_indexes,
+                plan_joins=self.options.plan_joins,
             )
             for rule in compiled:
                 if not rule.affected(changed_preds, domain_grew):
@@ -756,6 +892,8 @@ class Evaluator:
             allow_fallback=self.options.allow_fallback,
             fallback_limit=self.options.fallback_limit,
             stats=report.stats,
+            use_indexes=self.options.use_indexes,
+            plan_joins=self.options.plan_joins,
         )
         groups: dict[tuple[Term, ...], set[Term]] = {}
         premises: dict[tuple[Term, ...], list[Atom]] = {}
@@ -792,8 +930,11 @@ class _CompiledRule:
 
     def __init__(self, clause: LPSClause, builtins: Mapping[str, Builtin]) -> None:
         self.clause = clause
+        self.builtins = builtins
         self.head = clause.head
+        self.head_vars = clause.head.free_vars()
         self.body = clause.body_formula()
+        self._delta_rest_cache: dict[int, tuple[Formula, frozenset]] = {}
         self.deps = {
             a.pred
             for l in clause.body
@@ -834,24 +975,51 @@ class _CompiledRule:
         for head, _env in self.derive_with_env(solver):
             yield head
 
+    def _delta_rest(self, i: int) -> tuple[Formula, frozenset]:
+        """The body minus the pinned conjunct, with its free variables.
+
+        Compiled against the rule's own builtin registry (the one it was
+        constructed with), so the cache cannot go stale if a caller's solver
+        carries a different registry.
+        """
+        cached = self._delta_rest_cache.get(i)
+        if cached is None:
+            builtins = self.builtins
+            rest = conj(*(
+                AtomF(a) for j, a in enumerate(self.relational) if j != i
+            ), *(
+                AtomF(l.atom)
+                for l in self.clause.body
+                if l.positive and (l.atom.is_special() or l.atom.pred in builtins)
+            ))
+            cached = (rest, frozenset(rest.free_vars()))
+            self._delta_rest_cache[i] = cached
+        return cached
+
+    def _extend_env(
+        self, solver: Solver, env: Subst, head_vars
+    ) -> Iterator[Subst]:
+        """Bind head variables the body left free from the active domain."""
+        missing = [v for v in head_vars if v not in env]
+        solver._require_fallback(missing, self.body)
+        carriers = [solver.domain.carrier(v.sort) for v in missing]
+        total = 1
+        for c in carriers:
+            total *= max(len(c), 1)
+        solver._charge_fallback(total)
+        for combo in itertools.product(*carriers):
+            yield env.extend(dict(zip(missing, combo)))
+
     def derive_with_env(self, solver: Solver) -> Iterator[tuple[Atom, Subst]]:
-        head_vars = self.head.free_vars()
+        head_vars = self.head_vars
         for env in solver.solve(self.body):
-            missing = [v for v in head_vars if v not in env]
-            if missing:
-                # Head variables absent from the body range over the domain.
-                solver._require_fallback(missing, self.body)
-                carriers = [solver.domain.carrier(v.sort) for v in missing]
-                total = 1
-                for c in carriers:
-                    total *= max(len(c), 1)
-                solver._charge_fallback(total)
-                for combo in itertools.product(*carriers):
-                    env2 = env.extend(dict(zip(missing, combo)))
-                    yield self.head.substitute(env2), env2
-            else:
+            if all(v in env for v in head_vars):
                 solver.stats.derivations += 1
                 yield self.head.substitute(env), env
+            else:
+                # Head variables absent from the body range over the domain.
+                for env2 in self._extend_env(solver, env, head_vars):
+                    yield self.head.substitute(env2), env2
 
     def ground_premises(
         self, env: Subst, builtins: Mapping[str, Builtin]
@@ -894,20 +1062,17 @@ class _CompiledRule:
                 allow_fallback=solver.allow_fallback,
                 fallback_limit=solver.fallback_limit,
                 stats=solver.stats,
+                use_indexes=solver.use_indexes,
+                plan_joins=solver.plan_joins,
             )
             # Seed the solver with each delta fact for the pinned conjunct,
-            # then solve the remaining body under that binding.
-            rest = conj(*(
-                AtomF(a) for j, a in enumerate(self.relational) if j != i
-            ), *(
-                AtomF(l.atom)
-                for l in self.clause.body
-                if l.positive and (l.atom.is_special() or l.atom.pred in solver.builtins)
-            ))
+            # then solve the remaining body under that binding.  The rest
+            # formula and its free variables are compiled once per rule.
+            rest, rest_fv = self._delta_rest(i)
+            head_vars = self.head_vars
             for f in deltas[target.pred]:
                 for env0 in match_atom(target, f):
-                    for env in delta_solver.solve(rest, env0):
-                        head_vars = self.head.free_vars()
+                    for env in delta_solver.solve(rest, env0, fv=rest_fv):
                         if all(v in env for v in head_vars):
                             head = self.head.substitute(env)
                             if head not in seen:
@@ -921,7 +1086,7 @@ class _CompiledRule:
                                     yield h
 
     def _complete_head(self, solver: Solver, env: Subst) -> Iterator[Atom]:
-        missing = [v for v in self.head.free_vars() if v not in env]
+        missing = [v for v in self.head_vars if v not in env]
         solver._require_fallback(missing, self.body)
         carriers = [solver.domain.carrier(v.sort) for v in missing]
         total = 1

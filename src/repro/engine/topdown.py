@@ -22,15 +22,16 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Iterator, Mapping, Optional, Sequence
 
-from ..core.atoms import Atom, Literal
+from ..core.atoms import Atom, Literal, atom_order_key
 from ..core.clauses import GroupingClause, LPSClause
 from ..core.errors import EvaluationError
 from ..core.formulas import Formula, evaluate
 from ..core.program import Program
 from ..core.sorts import EQUALS, MEMBER
 from ..core.substitution import Subst
-from ..core.terms import SetValue, Term, Var, free_vars
+from ..core.terms import SetExpr, SetValue, Term, Var, free_vars
 from ..core.unify import unify, unify_atoms
+from ..semantics.interpretation import INDEX_MIN_FACTS, Interpretation
 from .builtins import DEFAULT_BUILTINS, Builtin
 from .database import Database
 
@@ -69,14 +70,24 @@ class TopDownProver:
                 )
         self.builtins = builtins
         self.max_depth = max_depth
+        # Ground unit clauses are facts: they go to an indexed store (shared
+        # machinery with the bottom-up engine — see DESIGN.md) rather than
+        # the clause list, so goal resolution against a large EDB is a hash
+        # lookup on the goal's bound argument positions instead of a linear
+        # scan that unifies with every unit clause.
         self._by_pred: dict[str, list[LPSClause]] = {}
+        self._facts = Interpretation()
+        fact_atoms: list[Atom] = []
         for c in program.lps_clauses():
-            self._by_pred.setdefault(c.head.pred, []).append(c)
+            if c.is_fact and c.head.is_ground() and not c.head.is_special():
+                fact_atoms.append(c.head)
+            else:
+                self._by_pred.setdefault(c.head.pred, []).append(c)
         if database is not None:
-            for a in database.facts():
-                self._by_pred.setdefault(a.pred, []).append(
-                    LPSClause(head=a)
-                )
+            fact_atoms.extend(database.facts())
+        # Deterministic fact order (database iteration order is not).
+        for a in sorted(fact_atoms, key=atom_order_key):
+            self._facts.add(a)
         self._fresh = itertools.count()
 
     # -- public API -----------------------------------------------------------
@@ -206,6 +217,9 @@ class TopDownProver:
         child_ancestors = (
             goal.ancestors | {a} if a.is_ground() else goal.ancestors
         )
+        for fct in self._fact_candidates(a):
+            for sigma in unify_atoms(a, fct, env):
+                yield sigma, []
         for c in self._by_pred.get(a.pred, ()):
             renamed = self._rename(c)
             for sigma in unify_atoms(a, renamed.head, env):
@@ -218,6 +232,29 @@ class TopDownProver:
                     # empty sets with no literals is just true.
                     body_goals = []
                 yield sigma, body_goals
+
+    def _fact_candidates(self, a: Atom):
+        """Facts that can resolve the (env-applied) goal atom ``a``.
+
+        Looks up the indexed fact store on the goal's bound argument
+        positions; small relations and all-unbound goals scan the
+        insertion-ordered fact map directly.  Facts were inserted in
+        ``atom_order_key`` order, so enumeration order is deterministic
+        regardless of how the database iterated.
+        """
+        facts = self._facts.facts_of(a.pred)
+        if not facts:
+            return ()
+        if len(facts) < INDEX_MIN_FACTS:
+            return facts
+        bound_pos = tuple(
+            i for i, t in enumerate(a.args)
+            if not isinstance(t, SetExpr) and t.is_ground()
+        )
+        if not bound_pos:
+            return facts
+        key = tuple(a.args[i] for i in bound_pos)
+        return self._facts.candidates(a.pred, bound_pos, key)
 
     def holds_closed(self, a: Atom) -> bool:
         """Ground-atom provability (used for negation as failure)."""

@@ -24,24 +24,63 @@ from __future__ import annotations
 import itertools
 from typing import Iterable, Iterator, Mapping, Optional, Sequence
 
-from ..core.atoms import Atom
+from ..core.atoms import Atom, atom_order_key
 from ..core.clauses import GroupingClause, LPSClause
 from ..core.errors import EvaluationError
 from ..core.formulas import evaluate
 from ..core.program import Program
 from ..core.substitution import Subst
-from ..core.terms import SetValue, Term, Var, order_key, setvalue
+from ..core.terms import SetValue, Term, Var, setvalue
 from .herbrand import Universe
 
 
-class Interpretation:
-    """A mutable set of ground non-special atoms with a predicate index."""
+#: Relations smaller than this are scanned rather than indexed.
+INDEX_MIN_FACTS = 8
 
-    __slots__ = ("_atoms", "_by_pred")
+_EMPTY_FACTS: dict = {}
+
+
+def _index_insert(
+    index: dict, positions: tuple[int, ...], a: Atom
+) -> None:
+    """Insert one fact into a positions-index (shared by lazy build and
+    incremental maintenance — the two must never diverge)."""
+    args = a.args
+    if positions and positions[-1] >= len(args):
+        return  # arity mismatch: can never match such patterns
+    key = tuple(args[i] for i in positions)
+    bucket = index.get(key)
+    if bucket is None:
+        index[key] = [a]
+    else:
+        bucket.append(a)
+
+
+class Interpretation:
+    """A mutable set of ground non-special atoms with a predicate index.
+
+    Beyond the per-predicate fact sets, the interpretation maintains
+    **incremental argument indexes**: per predicate and per combination of
+    bound argument positions, a hash map from the value tuple at those
+    positions to the matching facts.  An index is built lazily the first
+    time a caller asks for candidates with that position signature and is
+    kept up to date by :meth:`add` from then on, so both the bottom-up
+    solver's join steps and the top-down prover's fact lookups stay
+    O(candidates) instead of O(relation) as the relation grows (see
+    DESIGN.md, "Performance architecture").
+    """
+
+    __slots__ = ("_atoms", "_by_pred", "_indexes")
 
     def __init__(self, atoms: Iterable[Atom] = ()) -> None:
         self._atoms: set[Atom] = set()
-        self._by_pred: dict[str, set[Atom]] = {}
+        # Per-predicate facts as insertion-ordered dicts (value always None):
+        # enumeration order is then the order facts were added, independent
+        # of the process hash seed — the top-down prover relies on this for
+        # deterministic answer order.
+        self._by_pred: dict[str, dict[Atom, None]] = {}
+        # pred -> positions -> key tuple -> facts
+        self._indexes: dict[str, dict[tuple[int, ...], dict[tuple, list[Atom]]]] = {}
         for a in atoms:
             self.add(a)
 
@@ -59,7 +98,14 @@ class Interpretation:
         if a in self._atoms:
             return False
         self._atoms.add(a)
-        self._by_pred.setdefault(a.pred, set()).add(a)
+        bucket = self._by_pred.get(a.pred)
+        if bucket is None:
+            bucket = self._by_pred[a.pred] = {}
+        bucket[a] = None
+        per = self._indexes.get(a.pred)
+        if per:
+            for positions, index in per.items():
+                _index_insert(index, positions, a)
         return True
 
     def update(self, atoms: Iterable[Atom]) -> int:
@@ -69,7 +115,8 @@ class Interpretation:
     def copy(self) -> "Interpretation":
         out = Interpretation()
         out._atoms = set(self._atoms)
-        out._by_pred = {p: set(s) for p, s in self._by_pred.items()}
+        out._by_pred = {p: dict(s) for p, s in self._by_pred.items()}
+        # Indexes are rebuilt lazily on the copy.
         return out
 
     # -- queries ------------------------------------------------------------------
@@ -80,6 +127,44 @@ class Interpretation:
 
     def by_pred(self, pred: str) -> frozenset[Atom]:
         return frozenset(self._by_pred.get(pred, ()))
+
+    def facts_of(self, pred: str) -> Mapping[Atom, None]:
+        """The live, insertion-ordered facts of a predicate.
+
+        Callers must not mutate it; iterate it like a set of atoms.
+        """
+        return self._by_pred.get(pred, _EMPTY_FACTS)
+
+    def _index_for(
+        self, pred: str, positions: tuple[int, ...]
+    ) -> dict[tuple, list[Atom]]:
+        per = self._indexes.get(pred)
+        if per is None:
+            per = self._indexes[pred] = {}
+        index = per.get(positions)
+        if index is None:
+            index = {}
+            for f in self._by_pred.get(pred, ()):
+                _index_insert(index, positions, f)
+            per[positions] = index
+        return index
+
+    def candidates(
+        self, pred: str, positions: tuple[int, ...], key: tuple
+    ) -> Sequence[Atom]:
+        """Facts of ``pred`` whose arguments at ``positions`` equal ``key``.
+
+        Uses (and incrementally maintains) the hash index for that position
+        signature; an exact superset-free answer, not a heuristic.
+        """
+        return self._index_for(pred, positions).get(key, ())
+
+    def candidate_count(
+        self, pred: str, positions: tuple[int, ...], key: tuple
+    ) -> int:
+        """``len(candidates(...))`` without materialising anything new."""
+        bucket = self._index_for(pred, positions).get(key)
+        return 0 if bucket is None else len(bucket)
 
     def predicates(self) -> set[str]:
         return {p for p, s in self._by_pred.items() if s}
@@ -115,10 +200,7 @@ class Interpretation:
 
     def sorted_atoms(self) -> list[Atom]:
         """Atoms in a deterministic order for printing and diffing."""
-        return sorted(
-            self._atoms,
-            key=lambda a: (a.pred, tuple(order_key(t) for t in a.args)),
-        )
+        return sorted(self._atoms, key=atom_order_key)
 
     def pretty(self) -> str:
         return "\n".join(f"{a}." for a in self.sorted_atoms())
@@ -180,8 +262,11 @@ def assignments(variables: Sequence[Var], universe: Universe) -> Iterator[Subst]
         yield Subst()
         return
     carriers = [universe.carrier(v.sort) for v in variables]
+    # Carrier values are canonical ground terms of the variable's own sort,
+    # so the validating constructor would only re-check what holds by
+    # construction — use the fast internal one.
     for combo in itertools.product(*carriers):
-        yield Subst(dict(zip(variables, combo)))
+        yield Subst._make(dict(zip(variables, combo)))
 
 
 def active_universe(
