@@ -7,6 +7,9 @@
 * :mod:`repro.engine.stratify` — stratification (Section 4.2, [ABW86]);
 * :mod:`repro.engine.evaluation` — bottom-up naive/semi-naive evaluation
   under active-domain semantics, with LDL grouping;
+* :mod:`repro.engine.maintenance` — incremental model maintenance
+  (counting + DRed + per-stratum recompute) for batched insert/delete
+  fact streams;
 * :mod:`repro.engine.topdown` — the depth-bounded SLD prover with set
   unification (Section 3.2's procedural semantics).
 """
@@ -28,8 +31,9 @@ from .evaluation import (
     SolverStats,
     solve,
 )
+from .maintenance import MaintenanceReport, MaterializedModel
 from .setops import set_builtins, with_set_builtins
-from .stratify import Stratification, is_stratified, stratify
+from .stratify import Stratification, StratumRules, is_stratified, stratify
 from .topdown import TopDownProver
 
 __all__ = [
@@ -50,7 +54,10 @@ __all__ = [
     "solve",
     "set_builtins",
     "with_set_builtins",
+    "MaterializedModel",
+    "MaintenanceReport",
     "Stratification",
+    "StratumRules",
     "stratify",
     "is_stratified",
     "TopDownProver",

@@ -40,6 +40,18 @@ def to_term(value: Any) -> Term:
     raise EvaluationError(f"cannot convert {value!r} to an LPS term")
 
 
+def as_fact(spec: Any) -> Atom:
+    """Normalize a fact spec — an :class:`Atom` or a ``(pred, args...)``
+    tuple of Python values — into a ground atom."""
+    if isinstance(spec, Atom):
+        if not spec.is_ground():
+            raise EvaluationError(f"fact {spec} is not ground")
+        return spec
+    if isinstance(spec, tuple) and spec and isinstance(spec[0], str):
+        return Atom(spec[0], tuple(to_term(v) for v in spec[1:]))
+    raise EvaluationError(f"cannot interpret {spec!r} as a fact")
+
+
 def from_term(term: Term) -> Any:
     """Convert a ground term back to a Python value."""
     if isinstance(term, Const):
@@ -68,6 +80,44 @@ class Database:
             raise EvaluationError(f"fact {a} is not ground")
         self._facts.setdefault(a.pred, set()).add(a)
 
+    def retract(self, pred: str, *args: Any) -> bool:
+        """Retract ``pred(args...)``; returns ``True`` if it was present."""
+        return self.retract_atom(Atom(pred, tuple(to_term(v) for v in args)))
+
+    def retract_atom(self, a: Atom) -> bool:
+        bucket = self._facts.get(a.pred)
+        if bucket is None or a not in bucket:
+            return False
+        bucket.discard(a)
+        if not bucket:
+            del self._facts[a.pred]
+        return True
+
+    def apply_delta(
+        self,
+        adds: Iterable[Any] = (),
+        dels: Iterable[Any] = (),
+    ) -> tuple[frozenset[Atom], frozenset[Atom]]:
+        """Batch update: the database becomes ``(db − dels) ∪ adds``.
+
+        ``adds``/``dels`` accept :class:`~repro.core.atoms.Atom` objects or
+        ``(pred, arg, ...)`` tuples of Python values.  Returns the **net**
+        ``(added, removed)`` atom sets: a fact both deleted and re-asserted
+        in one batch appears in neither.
+        """
+        removed: set[Atom] = set()
+        added: set[Atom] = set()
+        for spec in dels:
+            a = as_fact(spec)
+            if self.retract_atom(a):
+                removed.add(a)
+        for spec in adds:
+            a = as_fact(spec)
+            if a not in self:
+                self.add_atom(a)
+                added.add(a)
+        return frozenset(added - removed), frozenset(removed - added)
+
     def extend(self, pred: str, rows: Iterable[tuple]) -> None:
         """Bulk-load rows of Python values into one predicate."""
         for row in rows:
@@ -76,6 +126,10 @@ class Database:
     def facts(self) -> Iterator[Atom]:
         for atoms in self._facts.values():
             yield from atoms
+
+    def facts_of(self, pred: str) -> frozenset[Atom]:
+        """The current fact atoms of one predicate."""
+        return frozenset(self._facts.get(pred, ()))
 
     def relation(self, pred: str) -> set[tuple]:
         """The extension of a predicate as Python-value tuples."""
@@ -86,6 +140,9 @@ class Database:
 
     def predicates(self) -> set[str]:
         return set(self._facts)
+
+    def __contains__(self, a: Atom) -> bool:
+        return a in self._facts.get(a.pred, ())
 
     def __len__(self) -> int:
         return sum(len(s) for s in self._facts.values())

@@ -606,6 +606,7 @@ class EvalReport:
     rounds: int = 0
     derived: int = 0
     strata: int = 0
+    passes: int = 0
     rule_applications: int = 0
     stats: SolverStats = field(default_factory=SolverStats)
 
@@ -770,6 +771,7 @@ class Evaluator:
                     self._apply_grouping(g, interp, domain, report, provenance)
                 self._fixpoint(normal, interp, domain, report, provenance)
             if domain.version == version_before:
+                report.passes = passes
                 return Model(interp, report, provenance)
 
     # -- stratum fixpoint -----------------------------------------------------------
@@ -781,7 +783,22 @@ class Evaluator:
         domain: ActiveDomain,
         report: EvalReport,
         provenance=None,
-    ) -> None:
+        seed_deltas: Optional[Mapping[str, frozenset[Atom]]] = None,
+    ) -> dict[str, set[Atom]]:
+        """Run one stratum to fixpoint; returns the atoms added, per predicate.
+
+        With ``seed_deltas`` the loop starts **semi-naive from the given
+        deltas** instead of with a naive first round: only rules depending
+        on a seeded predicate fire, and delta-capable rules pin their
+        differentiated conjunct to the seed.  This is how the incremental
+        maintenance subsystem (``repro.engine.maintenance``) re-closes a
+        stratum after a batch of fact insertions or DRed re-derivations —
+        the interpretation is the already-materialized model, not the empty
+        one, so a naive round would redo the entire join work.  The same
+        subsystem consumes the return value as the stratum's exact gained
+        set (the evaluator's own passes ignore it).
+        """
+        added: dict[str, set[Atom]] = {}
         # Non-ground unit clauses (e.g. the ∅ base cases produced by the
         # Theorem 10 translation) are rules over the active domain, not
         # facts.
@@ -791,16 +808,25 @@ class Evaluator:
             if interp.add(c.head):
                 domain.note_atom(c.head)
                 report.derived += 1
+                added.setdefault(c.head.pred, set()).add(c.head)
             if provenance is not None:
                 provenance.note_given(c.head)
 
         if not proper:
-            return
+            return added
 
         compiled = [_CompiledRule(c, self.builtins) for c in proper]
         recursive_preds = {c.head.pred for c in proper}
         changed_preds: Optional[set[str]] = None  # None = first round
         deltas: dict[str, frozenset[Atom]] = {}
+        if seed_deltas is not None:
+            # Seeded predicates may be lower-stratum inputs, so the pinnable
+            # set must cover them, not just this stratum's own heads.
+            deltas = {p: frozenset(s) for p, s in seed_deltas.items() if s}
+            changed_preds = set(deltas)
+            recursive_preds = recursive_preds | changed_preds
+            if not deltas:
+                return added
         round_no = 0
         prev_version = -1
 
@@ -862,8 +888,11 @@ class Evaluator:
                 domain.note_atom(a)
                 delta_map.setdefault(a.pred, set()).add(a)
                 report.derived += 1
+            for p, s in delta_map.items():
+                added.setdefault(p, set()).update(s)
             deltas = {p: frozenset(s) for p, s in delta_map.items()}
             changed_preds = set(delta_map)
+        return added
 
     # -- grouping ---------------------------------------------------------------
 
@@ -874,12 +903,13 @@ class Evaluator:
         domain: ActiveDomain,
         report: EvalReport,
         provenance=None,
-    ) -> None:
+    ) -> set[Atom]:
         """Evaluate one LDL grouping clause (Definition 14).
 
         The grouped position receives the set of all group-variable values
         for which the body holds, per binding of the other head variables.
         Stratification guarantees the body's predicates are fully computed.
+        Returns the head atoms actually added (consumed by maintenance).
         """
         body = conj(*(
             AtomF(l.atom) if l.positive else NotF(AtomF(l.atom))
@@ -912,6 +942,7 @@ class Evaluator:
                     if l.positive and not l.atom.is_special()
                     and l.atom.pred not in self.builtins
                 )
+        added: set[Atom] = set()
         for key, values in groups.items():
             args = list(key)
             args.insert(g.group_pos, setvalue(values))
@@ -919,10 +950,12 @@ class Evaluator:
             if interp.add(head):
                 domain.note_atom(head)
                 report.derived += 1
+                added.add(head)
             if provenance is not None:
                 provenance.note_grouped(
                     head, g, tuple(dict.fromkeys(premises.get(key, ())))
                 )
+        return added
 
 
 class _CompiledRule:

@@ -1,0 +1,746 @@
+"""Incremental model maintenance: batched insert/delete fact streams.
+
+The paper's examples assume a static EDB; this module makes the computed
+model survive a *stream* of fact changes without recomputing from scratch.
+A :class:`MaterializedModel` owns a solved model plus per-stratum support
+bookkeeping and exposes :meth:`MaterializedModel.apply_delta`, which
+implements the classical maintenance discipline:
+
+* **Counting maintenance** for nonrecursive conjunctive strata: every
+  derivation is a (rule, grounding) pair consuming exactly one fact per
+  relational conjunct, so a batch of insertions/deletions translates into
+  per-derivation count increments/decrements (the position-pinned delta
+  rule ``Δ(B1 ⋈ … ⋈ Bn) = Σ_i new^{<i} · ΔB_i · old^{>i}`` counts each
+  changed derivation exactly once).  An atom leaves the model when its
+  count — derivations plus base supports (EDB facts, ground fact clauses)
+  — reaches zero.
+* **DRed (delete–rederive)** for recursive strata: overdelete everything
+  transitively derivable from the deleted facts, then re-derive atoms with
+  surviving alternative derivations by seeding the existing semi-naive
+  machinery (``Evaluator._fixpoint(seed_deltas=…)``) from the rescued
+  atoms; insertions are a plain delta-seeded semi-naive closure.
+* **Per-stratum recomputation** for strata with negation, grouping or
+  restricted quantifiers, whose derivations are not fact-linear: the
+  stratum is cleared and re-evaluated against the maintained lower strata
+  — which is exactly the "re-derive, don't over-delete" semantics
+  stratified negation requires.
+
+Soundness gate.  The engine's active-domain semantics lets rules consult
+the domain carriers (unconstrained variables, non-ground quantifier
+ranges); such rules can change their output when the *domain* shrinks or
+grows even though no predicate they read changed.  Every carrier
+consultation goes through the solver's fallback machinery and is counted
+in ``SolverStats.fallbacks``, so the gate is dynamic and exact: if the
+initial evaluation fell back, or any maintenance join falls back, the
+incremental result is abandoned and the model is recomputed from scratch.
+The maintained model is therefore *always* identical to a from-scratch
+``Evaluator.run()`` over the updated database (see
+``tests/test_maintenance.py``), and incrementality is a pure optimisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Optional
+
+from ..core.atoms import Atom
+from ..core.clauses import GroupingClause, LPSClause
+from ..core.errors import EvaluationError, SafetyError
+from ..core.program import Program
+from ..core.substitution import Subst
+from ..core.terms import Var
+from ..core.unify import match_atom
+from ..semantics.interpretation import Interpretation
+from .builtins import DEFAULT_BUILTINS, Builtin
+from .database import Database, as_fact
+from .evaluation import (
+    ActiveDomain,
+    EvalOptions,
+    EvalReport,
+    Evaluator,
+    Model,
+    Solver,
+    SolverStats,
+    _CompiledRule,
+)
+from .provenance import SupportCounts
+from .stratify import PLAN_COUNTING, PLAN_DRED, PLAN_RECOMPUTE, StratumRules
+
+_EMPTY: frozenset = frozenset()
+
+#: Strategies reported by :meth:`MaterializedModel.apply_delta`.
+STRATEGY_NOOP = "noop"
+STRATEGY_INCREMENTAL = "incremental"
+STRATEGY_RECOMPUTE = "recompute"
+
+
+class _AbortIncremental(Exception):
+    """Internal: the incremental path is unsound for this delta; recompute."""
+
+
+def _one_fact(spec: tuple) -> Any:
+    """Normalize ``add(...)``/``retract(...)`` argument forms to a fact spec."""
+    if len(spec) == 1 and isinstance(spec[0], Atom):
+        return spec[0]
+    return spec
+
+
+#: Per-stratum change events: atoms added and atoms removed, by predicate.
+#: Each plan reports only *actual* interpretation mutations, so an atom in
+#: both maps was removed and restored — a net no-change.
+Events = tuple[dict[str, set[Atom]], dict[str, set[Atom]]]
+
+
+def _merge_net_changes(
+    gained: dict[str, set[Atom]],
+    lost: dict[str, set[Atom]],
+    add_events: Mapping[str, set[Atom]],
+    rem_events: Mapping[str, set[Atom]],
+) -> None:
+    """Fold one stratum's events into the cascading net delta."""
+    for p, s in add_events.items():
+        net = s - rem_events.get(p, _EMPTY)
+        if net:
+            gained.setdefault(p, set()).update(net)
+    for p, s in rem_events.items():
+        net = s - add_events.get(p, _EMPTY)
+        if net:
+            lost.setdefault(p, set()).update(net)
+
+
+@dataclass
+class MaintenanceReport:
+    """What one :meth:`MaterializedModel.apply_delta` call did."""
+
+    strategy: str = STRATEGY_INCREMENTAL
+    net_added: int = 0          # net EDB facts added to the database
+    net_removed: int = 0        # net EDB facts removed from the database
+    atoms_added: int = 0        # model atoms that appeared (EDB + derived)
+    atoms_removed: int = 0      # model atoms that disappeared
+    stratum_plans: tuple[tuple[int, str], ...] = ()
+    fallback_reason: Optional[str] = None
+
+
+class MaterializedModel:
+    """A solved model that absorbs batched EDB insertions and deletions.
+
+    The model owns its :class:`~repro.engine.database.Database`: mutate the
+    EDB only through :meth:`apply_delta` (or :meth:`add`/:meth:`retract`),
+    never behind the model's back.  After every call the interpretation is
+    identical to a from-scratch evaluation of the updated database.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        database: Optional[Database] = None,
+        builtins: Mapping[str, Builtin] = DEFAULT_BUILTINS,
+        options: Optional[EvalOptions] = None,
+    ) -> None:
+        self.program = program
+        self.database = database if database is not None else Database()
+        self.builtins = builtins
+        self.options = options or EvalOptions()
+        self._evaluator = Evaluator(
+            program, self.database, builtins, self.options
+        )
+        self._groups: tuple[StratumRules, ...] = (
+            self._evaluator.stratification.rule_groups()
+        )
+        #: pred -> index of the stratum whose rules produce it.
+        self._producer: dict[str, int] = {
+            p: g.index for g in self._groups for p in g.head_preds
+        }
+        #: Ground fact-clause heads: permanent base support, never deleted.
+        self._program_facts: frozenset[Atom] = frozenset(
+            c.head for c in program.lps_clauses()
+            if c.is_fact and c.head.is_ground()
+        )
+        #: Compiled proper rules per stratum (counting + DRed strata).
+        self._compiled: dict[int, list[_CompiledRule]] = {}
+        for g in self._groups:
+            if g.plan in (PLAN_COUNTING, PLAN_DRED):
+                self._compiled[g.index] = [
+                    _CompiledRule(c, builtins)
+                    for c in g.clauses
+                    if isinstance(c, LPSClause)
+                    and not (c.is_fact and c.head.is_ground())
+                ]
+        self.last_report: Optional[MaintenanceReport] = None
+        self._rebuild()
+
+    # -- read API ---------------------------------------------------------------
+
+    @property
+    def model(self) -> Model:
+        return self._model
+
+    @property
+    def interpretation(self) -> Interpretation:
+        return self._interp
+
+    def holds(self, a: Atom) -> bool:
+        return self._model.holds(a)
+
+    def query(self, pattern: Atom):
+        return self._model.query(pattern)
+
+    def relation(self, pred: str) -> set[tuple]:
+        return self._model.relation(pred)
+
+    def __len__(self) -> int:
+        return len(self._interp)
+
+    # -- write API --------------------------------------------------------------
+
+    def add(self, *spec: Any) -> MaintenanceReport:
+        """Insert one fact: ``m.add("edge", "a", "b")`` or ``m.add(atom)``."""
+        return self.apply_delta(adds=[_one_fact(spec)])
+
+    def retract(self, *spec: Any) -> MaintenanceReport:
+        """Delete one fact (same argument forms as :meth:`add`)."""
+        return self.apply_delta(dels=[_one_fact(spec)])
+
+    def apply_delta(
+        self, adds: Iterable[Any] = (), dels: Iterable[Any] = ()
+    ) -> MaintenanceReport:
+        """Apply a batch of insertions and deletions; maintain the model.
+
+        ``adds``/``dels`` accept atoms or ``(pred, arg, ...)`` tuples.  The
+        database becomes ``(db − dels) ∪ adds``; the model is maintained
+        incrementally where the per-stratum plans apply and recomputed
+        from scratch when the soundness gate trips (see module docstring).
+        """
+        add_atoms = [self._check_fact(s) for s in adds]
+        del_atoms = [self._check_fact(s) for s in dels]
+        if (add_atoms or del_atoms) and self._incremental_ok \
+                and self._counts is None:
+            # First delta: build the counting supports now, while both the
+            # interpretation and the database still hold the pre-batch
+            # state (base supports come from the database's EDB facts).
+            try:
+                self._init_counts()
+            except _AbortIncremental:
+                self._incremental_ok = False
+        added, removed = self.database.apply_delta(add_atoms, del_atoms)
+        report = MaintenanceReport(
+            net_added=len(added), net_removed=len(removed)
+        )
+        if not added and not removed:
+            report.strategy = STRATEGY_NOOP
+            self.last_report = report
+            return report
+        if not self._incremental_ok:
+            self._full_recompute(report, "program is not incrementally "
+                                 "maintainable (domain-dependent rules or "
+                                 "provenance tracking)")
+            return report
+        try:
+            self._maintain(added, removed, report)
+        except (_AbortIncremental, EvaluationError, SafetyError) as exc:
+            # Unsound or resource-limited incremental attempt: discard the
+            # partially-maintained state and recompute (a genuine error will
+            # re-raise from the from-scratch evaluation).
+            self._full_recompute(report, str(exc))
+        self.last_report = report
+        return report
+
+    # -- construction / recompute ------------------------------------------------
+
+    def _check_fact(self, spec: Any) -> Atom:
+        a = as_fact(spec)
+        if a.is_special():
+            raise EvaluationError(
+                f"special atom {a} cannot be asserted or retracted"
+            )
+        if a.pred in self.builtins:
+            raise EvaluationError(
+                f"database fact uses builtin predicate {a.pred!r}"
+            )
+        return a
+
+    def _rebuild(self) -> None:
+        """(Re)compute the model from scratch and reset all bookkeeping."""
+        self._model = self._evaluator.run()
+        self._interp = self._model.interpretation
+        self._domain = ActiveDomain()
+        for t in self.program.all_terms():
+            self._domain.note_term(t)
+        for a in self.database.facts():
+            self._domain.note_atom(a)
+        for a in self._interp:
+            self._domain.note_atom(a)
+        self._incremental_ok = (
+            not self.options.track_provenance
+            and self._model.report.stats.fallbacks == 0
+        )
+        # Counting supports are built lazily on the first delta: rebuilding
+        # them here would re-solve every counting-stratum join the run()
+        # above just solved, even if no delta ever arrives.
+        self._counts: Optional[dict[int, SupportCounts]] = None
+
+    def _full_recompute(
+        self, report: MaintenanceReport, reason: str
+    ) -> None:
+        before = set(self._interp.atoms())
+        self._rebuild()
+        after = self._interp.atoms()
+        report.strategy = STRATEGY_RECOMPUTE
+        report.fallback_reason = reason
+        report.atoms_added = len(after - before)
+        report.atoms_removed = len(before - after)
+        self.last_report = report
+
+    def _init_counts(self) -> None:
+        """Derivation + base-support counts for every counting stratum.
+
+        Must run against the pre-batch interpretation *and* database.
+        """
+        stats = SolverStats()
+        solver = self._solver(stats)
+        self._counts = {}
+        for g in self._groups:
+            if g.plan != PLAN_COUNTING:
+                continue
+            counts = SupportCounts()
+            for rule in self._compiled[g.index]:
+                fv = frozenset(rule.clause.free_vars())
+                head_vars = rule.head_vars
+                seen: set[Subst] = set()
+                for env in solver.solve(rule.body):
+                    self._require_head_ground(rule, env, head_vars)
+                    key = env.restrict(fv)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    counts.add(rule.head.substitute(env))
+            for p in g.head_preds:
+                for a in self.database.facts_of(p):
+                    counts.add(a)
+            for h in self._program_facts:
+                if h.pred in g.head_preds:
+                    counts.add(h)
+            self._counts[g.index] = counts
+        if stats.fallbacks:
+            raise _AbortIncremental("derivation enumeration fell back")
+
+    def _solver(self, stats: SolverStats) -> Solver:
+        return Solver(
+            self._interp,
+            self._domain,
+            self.builtins,
+            allow_fallback=self.options.allow_fallback,
+            fallback_limit=self.options.fallback_limit,
+            stats=stats,
+            use_indexes=self.options.use_indexes,
+            plan_joins=self.options.plan_joins,
+        )
+
+    @staticmethod
+    def _require_head_ground(
+        rule: _CompiledRule, env: Subst, head_vars: Iterable[Var]
+    ) -> None:
+        if any(v not in env for v in head_vars):
+            raise _AbortIncremental(
+                f"rule {rule.clause} leaves head variables to the active "
+                "domain; not incrementally maintainable"
+            )
+
+    # -- the maintenance sweep ---------------------------------------------------
+
+    def _maintain(
+        self,
+        added: Iterable[Atom],
+        removed: Iterable[Atom],
+        report: MaintenanceReport,
+    ) -> None:
+        stats = SolverStats()
+        gained: dict[str, set[Atom]] = {}
+        lost: dict[str, set[Atom]] = {}
+        edb_plus: dict[int, set[Atom]] = {}
+        edb_minus: dict[int, set[Atom]] = {}
+
+        # Pure EDB predicates (no producing rules) change the model directly;
+        # EDB changes to derived predicates are handled by their stratum.
+        for a in added:
+            g = self._producer.get(a.pred)
+            if g is None:
+                if self._interp.add(a):
+                    self._domain.note_atom(a)
+                    gained.setdefault(a.pred, set()).add(a)
+            else:
+                edb_plus.setdefault(g, set()).add(a)
+        for a in removed:
+            g = self._producer.get(a.pred)
+            if g is None:
+                if self._interp.remove(a):
+                    lost.setdefault(a.pred, set()).add(a)
+            else:
+                edb_minus.setdefault(g, set()).add(a)
+
+        plans: list[tuple[int, str]] = []
+        for group in self._groups:
+            plus = edb_plus.get(group.index, set())
+            minus = edb_minus.get(group.index, set())
+            touched = {
+                p for p in group.body_preds
+                if gained.get(p) or lost.get(p)
+            }
+            if not touched and not plus and not minus:
+                continue
+            plan = group.plan
+            if plan == PLAN_COUNTING:
+                events = self._maintain_counting(
+                    group, gained, lost, plus, minus, stats
+                )
+            elif plan == PLAN_DRED:
+                events = self._maintain_dred(
+                    group, gained, lost, plus, minus, stats
+                )
+            else:
+                events = self._recompute_stratum(group, stats)
+            plans.append((group.index, plan))
+            _merge_net_changes(gained, lost, *events)
+
+        if stats.fallbacks:
+            raise _AbortIncremental(
+                "active-domain fallback during maintenance"
+            )
+        report.stratum_plans = tuple(plans)
+        report.atoms_added = sum(len(s) for s in gained.values())
+        report.atoms_removed = sum(len(s) for s in lost.values())
+
+    # -- counting strata ---------------------------------------------------------
+
+    def _maintain_counting(
+        self,
+        group: StratumRules,
+        gained: Mapping[str, set[Atom]],
+        lost: Mapping[str, set[Atom]],
+        edb_plus: set[Atom],
+        edb_minus: set[Atom],
+        stats: SolverStats,
+    ) -> Events:
+        counts = self._counts[group.index]
+        dep_gained = {
+            p: gained[p] for p in group.body_preds if gained.get(p)
+        }
+        dep_lost = {
+            p: lost[p] for p in group.body_preds if lost.get(p)
+        }
+        rules = self._compiled[group.index]
+
+        lost_derivs: list[Atom] = []
+        gained_derivs: list[Atom] = []
+
+        # Deletion half-step over the old state: re-add the deleted input
+        # facts so joins can see them, and filter gained facts out.
+        if dep_lost:
+            readded = [
+                a for s in dep_lost.values() for a in s
+                if self._interp.add(a)
+            ]
+            try:
+                for rule in rules:
+                    lost_derivs.extend(self._rule_delta(
+                        rule, dep_lost, dep_gained, dep_lost, stats,
+                        deleting=True,
+                    ))
+            finally:
+                for a in readded:
+                    self._interp.remove(a)
+        # Insertion half-step over the new state (gained inputs are present).
+        if dep_gained:
+            for rule in rules:
+                gained_derivs.extend(self._rule_delta(
+                    rule, dep_gained, dep_gained, dep_lost, stats,
+                    deleting=False,
+                ))
+
+        lost_derivs.extend(edb_minus)       # base supports: −1 each
+        gained_derivs.extend(edb_plus)      # base supports: +1 each
+
+        add_events: dict[str, set[Atom]] = {}
+        rem_events: dict[str, set[Atom]] = {}
+        try:
+            for h in lost_derivs:
+                counts.discharge(h)
+        except ValueError as exc:
+            raise _AbortIncremental(str(exc)) from exc
+        for h in gained_derivs:
+            counts.add(h)
+        for h in lost_derivs:
+            if counts.count(h) == 0 and self._interp.remove(h):
+                rem_events.setdefault(h.pred, set()).add(h)
+        for h in gained_derivs:
+            if counts.count(h) > 0 and self._interp.add(h):
+                self._domain.note_atom(h)
+                add_events.setdefault(h.pred, set()).add(h)
+        return add_events, rem_events
+
+    def _rule_delta(
+        self,
+        rule: _CompiledRule,
+        pin_delta: Mapping[str, set[Atom]],
+        dep_gained: Mapping[str, set[Atom]],
+        dep_lost: Mapping[str, set[Atom]],
+        stats: SolverStats,
+        deleting: bool,
+    ) -> list[Atom]:
+        """Changed derivations of one rule, one head atom per derivation.
+
+        Implements the position-pinned delta rule: the pinned conjunct
+        ranges over the delta, earlier conjuncts over the updated state,
+        later conjuncts over the pre-batch state, so each changed
+        derivation is enumerated exactly once.  Membership in the two
+        states is decided per ground body instance against the delta sets
+        (the solver joins over the superset of both states).
+        """
+        rel = rule.relational
+        fv = frozenset(rule.clause.free_vars())
+        head_vars = rule.head_vars
+        solver = self._solver(stats)
+        seen: set[Subst] = set()
+        out: list[Atom] = []
+        for i, pin_atom in enumerate(rel):
+            delta_facts = pin_delta.get(pin_atom.pred)
+            if not delta_facts:
+                continue
+            rest, rest_fv = rule._delta_rest(i)
+            for f in delta_facts:
+                for env0 in match_atom(pin_atom, f):
+                    for env in solver.solve(rest, env0, fv=rest_fv):
+                        if not self._delta_positions_ok(
+                            rel, i, env, dep_gained, dep_lost, deleting
+                        ):
+                            continue
+                        self._require_head_ground(rule, env, head_vars)
+                        key = env.restrict(fv)
+                        if key in seen:
+                            continue
+                        seen.add(key)
+                        out.append(rule.head.substitute(env))
+        return out
+
+    @staticmethod
+    def _delta_positions_ok(
+        rel,
+        pin: int,
+        env: Subst,
+        dep_gained: Mapping[str, set[Atom]],
+        dep_lost: Mapping[str, set[Atom]],
+        deleting: bool,
+    ) -> bool:
+        for j, a in enumerate(rel):
+            if j == pin:
+                continue
+            in_gained = dep_gained.get(a.pred)
+            in_lost = dep_lost.get(a.pred) if deleting else None
+            if not in_gained and not in_lost:
+                continue
+            g = a.substitute(env)
+            if deleting:
+                # Old state everywhere (no gained facts); positions before
+                # the pin additionally use the post-deletion state.
+                if in_gained and g in in_gained:
+                    return False
+                if j < pin and in_lost and g in in_lost:
+                    return False
+            else:
+                # New state before the pin, pre-insertion (mid) state after
+                # it — deleted facts are already absent from the join state.
+                if j > pin and in_gained and g in in_gained:
+                    return False
+        return True
+
+    # -- DRed strata -------------------------------------------------------------
+
+    def _maintain_dred(
+        self,
+        group: StratumRules,
+        gained: Mapping[str, set[Atom]],
+        lost: Mapping[str, set[Atom]],
+        edb_plus: set[Atom],
+        edb_minus: set[Atom],
+        stats: SolverStats,
+    ) -> Events:
+        rules = self._compiled[group.index]
+        lps_clauses = [
+            c for c in group.clauses if isinstance(c, LPSClause)
+        ]
+        dep_gained = {
+            p: gained[p] for p in group.body_preds if gained.get(p)
+        }
+        dep_lost = {
+            p: lost[p] for p in group.body_preds if lost.get(p)
+        }
+
+        # --- phase 1: overdelete everything reachable from a deletion ---
+        overdeleted: set[Atom] = set()
+        frontier: dict[str, set[Atom]] = {}
+        for a in edb_minus:
+            if a in self._interp and not self._protected(a):
+                overdeleted.add(a)
+                frontier.setdefault(a.pred, set()).add(a)
+        for p, s in dep_lost.items():
+            frontier.setdefault(p, set()).update(s)
+        if frontier:
+            readded = [
+                a for s in dep_lost.values() for a in s
+                if self._interp.add(a)
+            ]
+            solver = self._solver(stats)
+            try:
+                while frontier:
+                    next_frontier: dict[str, set[Atom]] = {}
+                    for rule in rules:
+                        self._overdelete_rule(
+                            rule, frontier, next_frontier, overdeleted,
+                            dep_gained, solver,
+                        )
+                    frontier = next_frontier
+            finally:
+                for a in readded:
+                    self._interp.remove(a)
+        add_events: dict[str, set[Atom]] = {}
+        rem_events: dict[str, set[Atom]] = {}
+        for a in overdeleted:
+            self._interp.remove(a)
+            rem_events.setdefault(a.pred, set()).add(a)
+
+        # --- phase 2: re-derive overdeleted atoms with surviving support ---
+        if overdeleted:
+            solver = self._solver(stats)
+            by_head: dict[str, list[_CompiledRule]] = {}
+            for rule in rules:
+                by_head.setdefault(rule.head.pred, []).append(rule)
+            rederived: dict[str, set[Atom]] = {}
+            for h in overdeleted:
+                if self._one_step_derivable(h, by_head.get(h.pred, ()), solver):
+                    self._interp.add(h)
+                    rederived.setdefault(h.pred, set()).add(h)
+                    add_events.setdefault(h.pred, set()).add(h)
+            if rederived:
+                closure = self._seeded_fixpoint(lps_clauses, rederived, stats)
+                for p, s in closure.items():
+                    add_events.setdefault(p, set()).update(s)
+
+        # --- phase 3: close the insertions semi-naively from the deltas ---
+        seed: dict[str, set[Atom]] = {}
+        for a in edb_plus:
+            if self._interp.add(a):
+                self._domain.note_atom(a)
+                seed.setdefault(a.pred, set()).add(a)
+                add_events.setdefault(a.pred, set()).add(a)
+        for p, s in dep_gained.items():
+            seed.setdefault(p, set()).update(s)
+        if seed:
+            closure = self._seeded_fixpoint(lps_clauses, seed, stats)
+            for p, s in closure.items():
+                add_events.setdefault(p, set()).update(s)
+        return add_events, rem_events
+
+    def _overdelete_rule(
+        self,
+        rule: _CompiledRule,
+        frontier: Mapping[str, set[Atom]],
+        next_frontier: dict[str, set[Atom]],
+        overdeleted: set[Atom],
+        dep_gained: Mapping[str, set[Atom]],
+        solver: Solver,
+    ) -> None:
+        rel = rule.relational
+        head_vars = rule.head_vars
+        for i, pin_atom in enumerate(rel):
+            facts = frontier.get(pin_atom.pred)
+            if not facts:
+                continue
+            rest, rest_fv = rule._delta_rest(i)
+            for f in facts:
+                for env0 in match_atom(pin_atom, f):
+                    for env in solver.solve(rest, env0, fv=rest_fv):
+                        # Overdeletion runs over the pre-batch state: facts
+                        # gained below this stratum are not part of it.
+                        if any(
+                            dep_gained.get(a.pred)
+                            and a.substitute(env) in dep_gained[a.pred]
+                            for j, a in enumerate(rel) if j != i
+                        ):
+                            continue
+                        self._require_head_ground(rule, env, head_vars)
+                        h = rule.head.substitute(env)
+                        if (
+                            h in overdeleted
+                            or h not in self._interp
+                            or self._protected(h)
+                        ):
+                            continue
+                        overdeleted.add(h)
+                        next_frontier.setdefault(h.pred, set()).add(h)
+
+    def _one_step_derivable(
+        self,
+        h: Atom,
+        rules: Iterable[_CompiledRule],
+        solver: Solver,
+    ) -> bool:
+        for rule in rules:
+            for env0 in match_atom(rule.head, h):
+                for _env in solver.solve(rule.body, env0):
+                    return True
+        return False
+
+    def _protected(self, a: Atom) -> bool:
+        """Base-supported atoms survive overdeletion unconditionally."""
+        return a in self.database or a in self._program_facts
+
+    def _seeded_fixpoint(
+        self,
+        clauses: list[LPSClause],
+        seed: Mapping[str, set[Atom]],
+        stats: SolverStats,
+    ) -> dict[str, set[Atom]]:
+        """Close a stratum from the given deltas; returns the atoms added."""
+        return self._evaluator._fixpoint(
+            clauses,
+            self._interp,
+            self._domain,
+            EvalReport(stats=stats),
+            seed_deltas={p: frozenset(s) for p, s in seed.items()},
+        )
+
+    # -- recompute strata --------------------------------------------------------
+
+    def _recompute_stratum(
+        self, group: StratumRules, stats: SolverStats
+    ) -> Events:
+        """Clear and re-evaluate one stratum against maintained lower strata."""
+        add_events: dict[str, set[Atom]] = {}
+        rem_events: dict[str, set[Atom]] = {}
+        for p in group.head_preds:
+            cleared = set(self._interp.facts_of(p))
+            for a in cleared:
+                self._interp.remove(a)
+            if cleared:
+                rem_events[p] = cleared
+            for a in self.database.facts_of(p):
+                if self._interp.add(a):
+                    self._domain.note_atom(a)
+                    add_events.setdefault(p, set()).add(a)
+        grouping = [
+            c for c in group.clauses if isinstance(c, GroupingClause)
+        ]
+        normal = [c for c in group.clauses if isinstance(c, LPSClause)]
+        ereport = EvalReport(stats=stats)
+        for g in grouping:
+            grouped = self._evaluator._apply_grouping(
+                g, self._interp, self._domain, ereport
+            )
+            if grouped:
+                add_events.setdefault(g.pred, set()).update(grouped)
+        closure = self._evaluator._fixpoint(
+            normal, self._interp, self._domain, ereport
+        )
+        for p, s in closure.items():
+            add_events.setdefault(p, set()).update(s)
+        return add_events, rem_events

@@ -28,6 +28,49 @@ from ..core.errors import StratificationError
 from ..core.program import AnyClause, Program
 
 
+#: Maintenance strategies a stratum can be planned for (see
+#: ``repro.engine.maintenance``): counting maintenance for nonrecursive
+#: conjunctive strata, delete–rederive for recursive ones, and full
+#: per-stratum recomputation for anything with negation, grouping or
+#: restricted quantifiers (whose derivations are not fact-linear).
+PLAN_COUNTING = "counting"
+PLAN_DRED = "dred"
+PLAN_RECOMPUTE = "recompute"
+
+
+@dataclass(frozen=True)
+class StratumRules:
+    """One stratum's rule group, pre-analysed for the maintenance planner."""
+
+    index: int
+    clauses: tuple[AnyClause, ...]
+    head_preds: frozenset[str]
+    body_preds: frozenset[str]
+    has_negation: bool
+    has_grouping: bool
+    has_quantifiers: bool
+
+    @property
+    def recursive(self) -> bool:
+        return bool(self.head_preds & self.body_preds)
+
+    @property
+    def plan(self) -> str:
+        """Which maintenance strategy is sound and cheapest for this group.
+
+        Counting needs every derivation to consume exactly one fact per
+        body conjunct (plain positive conjunctive rules) and no recursion;
+        DRed additionally tolerates recursion; anything else — negation,
+        grouping, quantifiers — is re-evaluated wholesale from the
+        maintained lower strata.
+        """
+        if self.has_negation or self.has_grouping or self.has_quantifiers:
+            return PLAN_RECOMPUTE
+        if self.recursive:
+            return PLAN_DRED
+        return PLAN_COUNTING
+
+
 @dataclass(frozen=True)
 class Stratification:
     """The result: stratum number per predicate, and clauses per stratum."""
@@ -38,6 +81,37 @@ class Stratification:
     @property
     def depth(self) -> int:
         return len(self.strata)
+
+    def rule_groups(self) -> tuple[StratumRules, ...]:
+        """The strata as analysed rule groups (maintenance planner input)."""
+        out = []
+        for i, clauses in enumerate(self.strata):
+            head_preds: set[str] = set()
+            body_preds: set[str] = set()
+            has_negation = has_grouping = has_quantifiers = False
+            for c in clauses:
+                if isinstance(c, GroupingClause):
+                    has_grouping = True
+                    head_preds.add(c.pred)
+                else:
+                    head_preds.add(c.head.pred)
+                    if c.quantifiers:
+                        has_quantifiers = True
+                    if c.has_negation():
+                        has_negation = True
+                for lit in c.body:
+                    if not lit.atom.is_special():
+                        body_preds.add(lit.atom.pred)
+            out.append(StratumRules(
+                index=i,
+                clauses=clauses,
+                head_preds=frozenset(head_preds),
+                body_preds=frozenset(body_preds),
+                has_negation=has_negation,
+                has_grouping=has_grouping,
+                has_quantifiers=has_quantifiers,
+            ))
+        return tuple(out)
 
 
 def _tarjan_sccs(

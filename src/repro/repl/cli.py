@@ -6,9 +6,15 @@ Usage::
     lps query PROGRAM.lps 'p(X)'   evaluate, then print query bindings
     lps repl [PROGRAM.lps]         interactive loop
 
-In the REPL, enter clauses terminated by ``.`` to extend the program, or
-``?- atom.`` to query the (re-evaluated) model; ``:quit`` exits and
-``:model`` prints the current model.
+The REPL is a **long-lived session** over an incrementally maintained
+model (:class:`~repro.engine.maintenance.MaterializedModel`):
+
+* clauses terminated by ``.`` extend the program (the model is rebuilt),
+* ``+fact.`` asserts and ``-fact.`` retracts a ground fact — the model is
+  *maintained*, not recomputed, so churning facts against a large program
+  stays cheap,
+* ``?- atom.`` queries the current model, ``:model`` prints it, ``:stats``
+  shows what the last delta did, ``:quit`` exits.
 """
 
 from __future__ import annotations
@@ -17,12 +23,12 @@ import argparse
 import sys
 from typing import Optional
 
-from ..core.errors import LPSError
-from ..engine.evaluation import Model, solve
+from ..core.errors import EvaluationError, LPSError
+from ..engine.database import Database
+from ..engine.evaluation import Evaluator, Model
+from ..engine.maintenance import MaintenanceReport, MaterializedModel
 from ..engine.setops import with_set_builtins
-from ..engine.evaluation import EvalOptions, Evaluator
 from ..lang import parse_atom, parse_program
-from ..lang.pretty import pretty_atom
 
 
 def _evaluate(source: str) -> Model:
@@ -39,11 +45,7 @@ def cmd_run(path: str) -> int:
     return 0
 
 
-def cmd_query(path: str, query: str) -> int:
-    with open(path) as f:
-        source = f.read()
-    model = _evaluate(source)
-    pattern = parse_atom(query)
+def _print_answers(model, pattern) -> None:
     found = False
     for theta in model.query(pattern):
         found = True
@@ -54,16 +56,68 @@ def cmd_query(path: str, query: str) -> int:
                 theta.items(), key=lambda kv: kv[0].name)))
     if not found:
         print("false")
+
+
+def cmd_query(path: str, query: str) -> int:
+    with open(path) as f:
+        source = f.read()
+    model = _evaluate(source)
+    _print_answers(model, parse_atom(query))
     return 0
 
 
+class Session:
+    """A REPL session: program clauses plus a dynamic fact store.
+
+    The materialized model is built lazily and kept across ``+``/``-``
+    fact commands via incremental maintenance; adding a *clause* changes
+    the program and forces a rebuild (over the surviving fact store).
+    """
+
+    def __init__(self, source: str = "") -> None:
+        self.source_lines: list[str] = [source] if source else []
+        self.database = Database()
+        self._materialized: Optional[MaterializedModel] = None
+
+    @property
+    def materialized(self) -> MaterializedModel:
+        if self._materialized is None:
+            program = parse_program("\n".join(self.source_lines))
+            self._materialized = MaterializedModel(
+                program, self.database, builtins=with_set_builtins()
+            )
+        return self._materialized
+
+    @property
+    def model(self) -> Model:
+        return self.materialized.model
+
+    def add_clause(self, line: str) -> None:
+        parse_program("\n".join(self.source_lines + [line]))  # validate
+        self.source_lines.append(line)
+        self._materialized = None  # program changed: rebuild lazily
+
+    def _parse_fact(self, text: str):
+        a = parse_atom(text.strip().rstrip("."))
+        if not a.is_ground():
+            raise EvaluationError(f"fact {a} is not ground")
+        return a
+
+    def assert_fact(self, text: str) -> MaintenanceReport:
+        return self.materialized.apply_delta(adds=[self._parse_fact(text)])
+
+    def retract_fact(self, text: str) -> MaintenanceReport:
+        return self.materialized.apply_delta(dels=[self._parse_fact(text)])
+
+
 def cmd_repl(path: Optional[str]) -> int:
-    source_lines: list[str] = []
+    session = Session()
     if path:
         with open(path) as f:
-            source_lines.append(f.read())
+            session.add_clause(f.read())
     print("LPS repl — clauses end with '.', queries start with '?-', "
-          ":model prints the model, :quit exits.")
+          "+fact./-fact. insert/delete facts, :model prints the model, "
+          ":quit exits.")
     while True:
         try:
             line = input("lps> ").strip()
@@ -76,26 +130,26 @@ def cmd_repl(path: Optional[str]) -> int:
             return 0
         try:
             if line == ":model":
-                model = _evaluate("\n".join(source_lines))
-                print(model.pretty())
+                print(session.model.pretty())
+            elif line == ":stats":
+                report = session.materialized.last_report
+                if report is None:
+                    print("no deltas applied yet")
+                else:
+                    print(f"last delta: strategy={report.strategy} "
+                          f"+{report.atoms_added}/-{report.atoms_removed} "
+                          f"model atoms")
+            elif line.startswith("+"):
+                report = session.assert_fact(line[1:])
+                print("added." if report.net_added else "no change.")
+            elif line.startswith("-"):
+                report = session.retract_fact(line[1:])
+                print("removed." if report.net_removed else "no change.")
             elif line.startswith("?-"):
                 query = line[2:].strip().rstrip(".")
-                model = _evaluate("\n".join(source_lines))
-                pattern = parse_atom(query)
-                answers = list(model.query(pattern))
-                if not answers:
-                    print("false")
-                for theta in answers:
-                    if len(theta) == 0:
-                        print("true")
-                    else:
-                        print(", ".join(
-                            f"{v.name} = {t}" for v, t in sorted(
-                                theta.items(), key=lambda kv: kv[0].name)
-                        ))
+                _print_answers(session.model, parse_atom(query))
             else:
-                parse_program("\n".join(source_lines + [line]))  # validate
-                source_lines.append(line)
+                session.add_clause(line)
         except LPSError as exc:
             print(f"error: {exc}", file=sys.stderr)
 

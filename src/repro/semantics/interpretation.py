@@ -44,16 +44,36 @@ def _index_insert(
     index: dict, positions: tuple[int, ...], a: Atom
 ) -> None:
     """Insert one fact into a positions-index (shared by lazy build and
-    incremental maintenance — the two must never diverge)."""
+    incremental maintenance — the two must never diverge).
+
+    Buckets are insertion-ordered dicts (value always ``None``), like the
+    per-predicate fact sets: deterministic enumeration order plus O(1)
+    removal (bulk retraction would be quadratic on list buckets).
+    """
     args = a.args
     if positions and positions[-1] >= len(args):
         return  # arity mismatch: can never match such patterns
     key = tuple(args[i] for i in positions)
     bucket = index.get(key)
     if bucket is None:
-        index[key] = [a]
+        index[key] = {a: None}
     else:
-        bucket.append(a)
+        bucket[a] = None
+
+
+def _index_remove(
+    index: dict, positions: tuple[int, ...], a: Atom
+) -> None:
+    """Remove one fact from a positions-index (inverse of `_index_insert`)."""
+    args = a.args
+    if positions and positions[-1] >= len(args):
+        return  # arity mismatch: was never inserted
+    key = tuple(args[i] for i in positions)
+    bucket = index.get(key)
+    if bucket is not None:
+        bucket.pop(a, None)
+        if not bucket:
+            del index[key]
 
 
 class Interpretation:
@@ -80,7 +100,9 @@ class Interpretation:
         # deterministic answer order.
         self._by_pred: dict[str, dict[Atom, None]] = {}
         # pred -> positions -> key tuple -> facts
-        self._indexes: dict[str, dict[tuple[int, ...], dict[tuple, list[Atom]]]] = {}
+        self._indexes: dict[
+            str, dict[tuple[int, ...], dict[tuple, dict[Atom, None]]]
+        ] = {}
         for a in atoms:
             self.add(a)
 
@@ -112,6 +134,30 @@ class Interpretation:
         """Insert many atoms; returns the number actually added."""
         return sum(1 for a in atoms if self.add(a))
 
+    def remove(self, a: Atom) -> bool:
+        """Retract a ground atom; returns ``True`` if it was present.
+
+        Keeps every already-built argument index consistent, so interleaved
+        :meth:`add`/:meth:`remove` sequences leave :meth:`candidates` and
+        :meth:`candidate_count` agreeing with a fresh linear scan (the
+        incremental-maintenance subsystem depends on this invariant).
+        """
+        if a not in self._atoms:
+            return False
+        self._atoms.discard(a)
+        bucket = self._by_pred.get(a.pred)
+        if bucket is not None:
+            bucket.pop(a, None)
+        per = self._indexes.get(a.pred)
+        if per:
+            for positions, index in per.items():
+                _index_remove(index, positions, a)
+        return True
+
+    def discard(self, atoms: Iterable[Atom]) -> int:
+        """Retract many atoms; returns the number actually removed."""
+        return sum(1 for a in atoms if self.remove(a))
+
     def copy(self) -> "Interpretation":
         out = Interpretation()
         out._atoms = set(self._atoms)
@@ -137,7 +183,7 @@ class Interpretation:
 
     def _index_for(
         self, pred: str, positions: tuple[int, ...]
-    ) -> dict[tuple, list[Atom]]:
+    ) -> dict[tuple, dict[Atom, None]]:
         per = self._indexes.get(pred)
         if per is None:
             per = self._indexes[pred] = {}
@@ -151,11 +197,12 @@ class Interpretation:
 
     def candidates(
         self, pred: str, positions: tuple[int, ...], key: tuple
-    ) -> Sequence[Atom]:
+    ) -> Iterable[Atom]:
         """Facts of ``pred`` whose arguments at ``positions`` equal ``key``.
 
         Uses (and incrementally maintains) the hash index for that position
-        signature; an exact superset-free answer, not a heuristic.
+        signature; an exact superset-free answer, not a heuristic.  The
+        result is a read-only iterable of atoms in insertion order.
         """
         return self._index_for(pred, positions).get(key, ())
 

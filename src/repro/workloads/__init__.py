@@ -1,9 +1,13 @@
 """Deterministic synthetic workloads for tests and benchmarks."""
 
 from .generators import (
+    ChurnBatch,
     PartsWorld,
     chain_graph,
+    churn_stream,
+    cost_churn,
     cycle_graph,
+    edge_churn,
     grid_graph,
     nested_relation_rows,
     number_set,
@@ -26,4 +30,8 @@ __all__ = [
     "parts_database",
     "number_set",
     "nested_relation_rows",
+    "ChurnBatch",
+    "churn_stream",
+    "edge_churn",
+    "cost_churn",
 ]

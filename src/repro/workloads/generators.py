@@ -7,6 +7,7 @@ engine's :class:`~repro.engine.database.Database` converts them).
 
 from __future__ import annotations
 
+import bisect
 import random
 from dataclasses import dataclass
 from typing import Iterable, Optional
@@ -130,6 +131,145 @@ def parts_database(world: PartsWorld) -> Database:
     for leaf, c in world.cost.items():
         db.add("cost", leaf, c)
     return db
+
+
+@dataclass(frozen=True)
+class ChurnBatch:
+    """One batch of EDB changes: fact specs as ``(pred, args...)`` tuples."""
+
+    adds: tuple[tuple, ...]
+    dels: tuple[tuple, ...]
+
+
+def churn_stream(
+    pred: str,
+    rows: Iterable[tuple],
+    n_batches: int,
+    batch_size: int = 1,
+    p_delete: float = 0.5,
+    fresh_row=None,
+    seed: int = 0,
+) -> list[ChurnBatch]:
+    """A deterministic insert/delete stream over one predicate.
+
+    Starting from the live set ``rows``, each batch draws ``batch_size``
+    operations: with probability ``p_delete`` a deletion of a live fact,
+    otherwise an insertion — preferring a ``fresh_row(rng)`` row when the
+    callable is given, else re-inserting a previously deleted row.  The
+    stream never inserts a live row or deletes a dead one, so every
+    operation is a *net* change; feed the batches to
+    :meth:`~repro.engine.maintenance.MaterializedModel.apply_delta`.
+    """
+    rng = random.Random(seed)
+    live: set[tuple] = {tuple(r) for r in rows}
+    # Deletions draw from a sorted list maintained incrementally (bisect),
+    # not re-sorted per operation: stream generation stays O(ops · log n)
+    # and the draw order is still deterministic under the seed.
+    live_sorted: list[tuple] = sorted(live)
+    dead: list[tuple] = []
+    dead_rows: set[tuple] = set()
+    out: list[ChurnBatch] = []
+    for _ in range(n_batches):
+        adds: list[tuple] = []
+        dels: list[tuple] = []
+        # Rows touched earlier in the same batch are neither deletion nor
+        # re-insertion candidates: `apply_delta` processes deletions before
+        # insertions, so an insert+delete (or delete+re-insert) pair within
+        # one batch would net out and desynchronize the live-set tracking.
+        # Batch-added rows join `live_sorted` only when the batch closes.
+        batch_added: set[tuple] = set()
+        batch_deleted: set[tuple] = set()
+        for _ in range(batch_size):
+            revivable = [i for i, r in enumerate(dead)
+                         if r not in batch_deleted]
+            if live_sorted and (rng.random() < p_delete or
+                                (fresh_row is None and not revivable)):
+                row = live_sorted.pop(rng.randrange(len(live_sorted)))
+                live.discard(row)
+                batch_deleted.add(row)
+                dead.append(row)
+                dead_rows.add(row)
+                dels.append((pred, *row))
+            else:
+                row: Optional[tuple] = None
+                if fresh_row is not None:
+                    # Dead rows are excluded here too: re-inserting one
+                    # without unlisting it would let a later revival emit
+                    # an insert of an already-live row.
+                    for _attempt in range(20):
+                        cand = tuple(fresh_row(rng))
+                        if (cand not in live and cand not in batch_deleted
+                                and cand not in dead_rows):
+                            row = cand
+                            break
+                if row is None and revivable:
+                    row = dead.pop(rng.choice(revivable))
+                    dead_rows.discard(row)
+                if row is None:
+                    continue
+                live.add(row)
+                batch_added.add(row)
+                adds.append((pred, *row))
+        for row in batch_added:
+            bisect.insort(live_sorted, row)
+        out.append(ChurnBatch(adds=tuple(adds), dels=tuple(dels)))
+    return out
+
+
+def edge_churn(
+    edges: Iterable[tuple[str, str]],
+    n_batches: int,
+    batch_size: int = 1,
+    n_nodes: int = 0,
+    p_delete: float = 0.5,
+    seed: int = 0,
+) -> list[ChurnBatch]:
+    """Insert/delete churn over an ``e(u, v)`` edge relation.
+
+    With ``n_nodes > 0`` insertions may create fresh random edges among
+    ``v0..v{n_nodes-1}``; otherwise they re-insert deleted edges.
+    """
+    fresh = None
+    if n_nodes > 1:
+        def fresh(rng: random.Random) -> tuple[str, str]:
+            while True:
+                a, b = rng.randrange(n_nodes), rng.randrange(n_nodes)
+                if a != b:
+                    return (f"v{a}", f"v{b}")
+    return churn_stream(
+        "e", edges, n_batches, batch_size=batch_size,
+        p_delete=p_delete, fresh_row=fresh, seed=seed,
+    )
+
+
+def cost_churn(
+    world: PartsWorld,
+    n_batches: int,
+    max_delta: int = 9,
+    seed: int = 0,
+) -> list[ChurnBatch]:
+    """Leaf-cost repricing churn for the parts-explosion workload.
+
+    Each batch retracts one leaf's ``cost`` fact and asserts a new price —
+    the canonical small-delta update that forces the roll-up costs above
+    the leaf to be remaintained.
+    """
+    rng = random.Random(seed)
+    current = dict(world.cost)
+    leaves = sorted(current)
+    out: list[ChurnBatch] = []
+    for _ in range(n_batches):
+        leaf = rng.choice(leaves)
+        old = current[leaf]
+        new = 1 + rng.randrange(max_delta)
+        if new == old:
+            new = old + 1
+        current[leaf] = new
+        out.append(ChurnBatch(
+            adds=(("cost", leaf, new),),
+            dels=(("cost", leaf, old),),
+        ))
+    return out
 
 
 def number_set(n: int, seed: int = 0) -> frozenset[int]:

@@ -75,3 +75,47 @@ class TestRepl:
         monkeypatch.setattr("builtins.input", lambda prompt="": next(lines))
         assert main(["repl"]) == 0
         assert "error" in capsys.readouterr().err
+
+    def test_repl_fact_churn_maintains_model(self, monkeypatch, capsys):
+        lines = iter([
+            "edge(a, b).",
+            "path(X, Y) :- edge(X, Y).",
+            "path(X, Z) :- edge(X, Y), path(Y, Z).",
+            "+edge(b, c).",
+            "?- path(a, c).",
+            ":stats",
+            "-edge(b, c).",
+            "?- path(a, c).",
+            "+edge(b, c).",
+            "+edge(b, c).",
+            ":quit",
+        ])
+        monkeypatch.setattr("builtins.input", lambda prompt="": next(lines))
+        assert main(["repl"]) == 0
+        out = capsys.readouterr().out
+        assert "added." in out
+        assert "removed." in out
+        assert "no change." in out          # second +edge(b, c).
+        assert "strategy=incremental" in out
+        # path(a, c): true after insert, false after delete.
+        assert "true" in out and "false" in out
+
+    def test_repl_rejects_non_ground_fact(self, monkeypatch, capsys):
+        lines = iter(["p(a).", "+p(X).", ":quit"])
+        monkeypatch.setattr("builtins.input", lambda prompt="": next(lines))
+        assert main(["repl"]) == 0
+        assert "not ground" in capsys.readouterr().err
+
+    def test_repl_clause_after_facts_keeps_fact_store(
+        self, monkeypatch, capsys
+    ):
+        lines = iter([
+            "+edge(a, b).",
+            "path(X, Y) :- edge(X, Y).",
+            "?- path(a, b).",
+            ":quit",
+        ])
+        monkeypatch.setattr("builtins.input", lambda prompt="": next(lines))
+        assert main(["repl"]) == 0
+        out = capsys.readouterr().out
+        assert "true" in out

@@ -128,3 +128,85 @@ def test_random_set_databases(n_sets, universe, seed):
     clauses = [fact(atom("s", setvalue([const(e) for e in s]))) for s in sets]
     program = Program.of(*clauses, *SETPREDS.clauses)
     assert_all_agree(program)
+
+
+# ---------------------------------------------------------------------------
+# Index consistency under interleaved add/remove (incremental maintenance
+# relies on `Interpretation.remove` keeping every built index exact).
+# ---------------------------------------------------------------------------
+
+from itertools import combinations
+
+from repro.semantics.interpretation import Interpretation
+
+_CS = [const(c) for c in ("a", "b", "c")]
+ATOM_SPACE = (
+    [atom("p", u, v) for u in _CS for v in _CS]
+    + [atom("q", u) for u in _CS]
+    + [atom("p3", u, v, w) for u in _CS for v in _CS for w in _CS][:10]
+)
+
+
+def _position_signatures(arity):
+    positions = range(arity)
+    return [
+        tuple(c) for r in range(1, arity + 1)
+        for c in combinations(positions, r)
+    ]
+
+
+def _assert_indexes_match_scan(interp):
+    """Every (pred, positions, key) bucket equals a fresh linear scan."""
+    for pred in {"p", "q", "p3"}:
+        facts = list(interp.facts_of(pred))
+        arities = {f.arity for f in facts} or {1}
+        for arity in arities:
+            for positions in _position_signatures(arity):
+                keys = {tuple(f.args[i] for i in positions)
+                        for f in facts if f.arity == arity}
+                keys.add(tuple(_CS[0] for _ in positions))  # absent key
+                for key in keys:
+                    scan = [
+                        f for f in facts
+                        if f.arity == arity
+                        and tuple(f.args[i] for i in positions) == key
+                    ]
+                    got = list(interp.candidates(pred, positions, key))
+                    assert sorted(map(str, got)) == sorted(map(str, scan))
+                    assert (interp.candidate_count(pred, positions, key)
+                            == len(scan))
+
+
+@settings(max_examples=30)
+@given(
+    ops=st.lists(
+        st.tuples(st.booleans(), st.integers(0, len(ATOM_SPACE) - 1)),
+        min_size=1, max_size=50,
+    ),
+    probe_at=st.integers(0, 10),
+)
+def test_remove_keeps_indexes_consistent(ops, probe_at):
+    """candidates()/candidate_count() == linear scan after add/remove churn.
+
+    The ``probe_at`` query forces index construction mid-sequence, so later
+    adds *and removes* exercise the incremental index-maintenance paths,
+    not the lazy rebuild."""
+    interp = Interpretation()
+    live: set = set()
+    for step, (is_add, idx) in enumerate(ops):
+        a = ATOM_SPACE[idx]
+        if is_add:
+            assert interp.add(a) == (a not in live)
+            live.add(a)
+        else:
+            assert interp.remove(a) == (a in live)
+            live.discard(a)
+        if step == probe_at:
+            # Build several indexes now; they must stay exact afterwards.
+            interp.candidates("p", (0,), (_CS[0],))
+            interp.candidates("p", (0, 1), (_CS[0], _CS[1]))
+            interp.candidates("q", (0,), (_CS[2],))
+            interp.candidates("p3", (1,), (_CS[1],))
+    assert set(interp.atoms()) == live
+    assert len(interp) == len(live)
+    _assert_indexes_match_scan(interp)
