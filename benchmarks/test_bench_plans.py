@@ -1,0 +1,139 @@
+"""B-plans — compiled set-at-a-time plans vs the tuple-at-a-time solver.
+
+The plan pipeline (``engine/ir.py`` → ``engine/planner.py`` →
+``engine/executor.py``) must earn its keep on join-heavy workloads: the
+same programs evaluated with ``compile_plans`` on and off, on
+
+* transitive closure (chains and grids — many semi-naive rounds of
+  delta-pinned joins),
+* the parts explosion roll-up of Example 6 (set-keyed joins plus
+  arithmetic Compute conjuncts),
+* a nested unnest workload (Example 4's ``y ∈ Y`` as an Unnest operator
+  over wide set columns).
+
+``test_plans_speedup_floor`` enforces the acceptance criterion — the
+compiled path at least 1.5× faster than the tuple path on at least two
+join-heavy workloads — with min-of-k on both sides so scheduler noise
+cancels.  Record results under the ``plans`` label::
+
+    python benchmarks/run_benchmarks.py --label plans --files test_bench_plans.py
+"""
+
+import os
+import random
+import time
+
+import pytest
+
+from repro import parse_program
+from repro.engine import Database, Evaluator
+from repro.engine.evaluation import EvalOptions
+from repro.engine.setops import with_set_builtins
+from repro.workloads import chain_graph, grid_graph, parts_database, parts_world
+
+MODES = {"compiled": True, "tuple": False}
+
+TC = parse_program("""
+t(X, Y) :- e(X, Y).
+t(X, Z) :- e(X, Y), t(Y, Z).
+""")
+
+PARTS = parse_program("""
+item_cost(P, C) :- cost(P, C).
+item_cost(P, C) :- obj_cost(P, C).
+need(S) :- parts(P, S).
+need(Y) :- need(Z), choose_min(X, Y, Z).
+sum_costs({}, 0).
+sum_costs(Z, K) :- need(Z), choose_min(P, Y, Z),
+                   item_cost(P, C), sum_costs(Y, M), M + C = K.
+obj_cost(P, C) :- parts(P, S), sum_costs(S, C).
+""")
+
+UNNEST = parse_program("s(X, E) :- r(X, Y), E in Y.")
+
+
+def graph_db(edges):
+    db = Database()
+    for u, v in edges:
+        db.add("e", u, v)
+    return db
+
+
+def unnest_db(n_rows=300, width=12, universe=200, seed=0):
+    rng = random.Random(seed)
+    db = Database()
+    for i in range(n_rows):
+        elems = frozenset(f"e{rng.randrange(universe)}" for _ in range(width))
+        db.add("r", f"x{i}", elems)
+    return db
+
+
+def run(program, db, compiled: bool):
+    options = EvalOptions(compile_plans=compiled)
+    return Evaluator(program, db, builtins=with_set_builtins(),
+                     options=options).run()
+
+
+@pytest.mark.parametrize("n", [48, 64])
+@pytest.mark.parametrize("mode", MODES)
+def test_tc_chain(benchmark, mode, n):
+    db = graph_db(chain_graph(n))
+    result = benchmark(lambda: run(TC, db, MODES[mode]))
+    assert len(result.relation("t")) == n * (n + 1) // 2
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_tc_grid(benchmark, mode):
+    db = graph_db(grid_graph(6, 6))
+    result = benchmark(lambda: run(TC, db, MODES[mode]))
+    assert result.relation("t")
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_parts_explosion(benchmark, mode):
+    world = parts_world(depth=3, fanout=2, seed=5)
+    db = parts_database(world)
+    result = benchmark(lambda: run(PARTS, db, MODES[mode]))
+    assert result.relation("obj_cost")
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_nested_unnest(benchmark, mode):
+    db = unnest_db()
+    result = benchmark(lambda: run(UNNEST, db, MODES[mode]))
+    assert result.relation("s")
+
+
+@pytest.mark.skipif(
+    os.environ.get("SKIP_TIMING_ASSERTS") == "1",
+    reason="wall-clock assertion disabled (coverage-instrumented CI job; "
+           "the dedicated benchmarks job still enforces it)",
+)
+def test_plans_speedup_floor():
+    """Acceptance floor: ≥1.5× over the tuple path on ≥2 join-heavy
+    workloads (observed: chain ~1.7×, grid ~2×, unnest ~1.6×, parts ~20×+)."""
+
+    def best_of(fn, k=3):
+        best = float("inf")
+        for _ in range(k):
+            t0 = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    workloads = {
+        "tc-chain": (TC, graph_db(chain_graph(64))),
+        "tc-grid": (TC, graph_db(grid_graph(6, 6))),
+        "parts": (PARTS, parts_database(parts_world(depth=3, fanout=2, seed=5))),
+        "unnest": (UNNEST, unnest_db()),
+    }
+    speedups = {}
+    for name, (program, db) in workloads.items():
+        compiled = best_of(lambda: run(program, db, True))
+        tuple_t = best_of(lambda: run(program, db, False))
+        speedups[name] = tuple_t / compiled
+    fast_enough = [n for n, s in speedups.items() if s >= 1.5]
+    assert len(fast_enough) >= 2, (
+        "compiled plans beat the tuple path 1.5x on fewer than two "
+        f"workloads: {({n: round(s, 2) for n, s in speedups.items()})}"
+    )

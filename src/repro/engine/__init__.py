@@ -7,6 +7,11 @@
 * :mod:`repro.engine.stratify` — stratification (Section 4.2, [ABW86]);
 * :mod:`repro.engine.evaluation` — bottom-up naive/semi-naive evaluation
   under active-domain semantics, with LDL grouping;
+* :mod:`repro.engine.ir` / :mod:`repro.engine.planner` /
+  :mod:`repro.engine.executor` — the relational-algebra plan pipeline:
+  rule bodies compile to Scan/Join/AntiJoin/… operator trees executed
+  set-at-a-time over the interpretation's argument indexes, with the
+  tuple-at-a-time solver as the equivalence-tested fallback;
 * :mod:`repro.engine.maintenance` — incremental model maintenance
   (counting + DRed + per-stratum recompute) for batched insert/delete
   fact streams;
@@ -31,7 +36,10 @@ from .evaluation import (
     SolverStats,
     solve,
 )
+from .executor import Executor, PlanInapplicable
+from .ir import MODE_SET, MODE_TUPLE, ExecStats
 from .maintenance import MaintenanceReport, MaterializedModel
+from .planner import CompiledPlan, compile_grouping, compile_rule, head_plan
 from .setops import set_builtins, with_set_builtins
 from .stratify import Stratification, StratumRules, is_stratified, stratify
 from .topdown import TopDownProver
@@ -52,6 +60,15 @@ __all__ = [
     "Evaluator",
     "Model",
     "solve",
+    "Executor",
+    "PlanInapplicable",
+    "ExecStats",
+    "MODE_SET",
+    "MODE_TUPLE",
+    "CompiledPlan",
+    "compile_rule",
+    "compile_grouping",
+    "head_plan",
     "set_builtins",
     "with_set_builtins",
     "MaterializedModel",

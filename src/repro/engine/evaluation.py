@@ -72,9 +72,12 @@ from ..core.unify import (
     match_atom_fast,
     unify,
 )
-from ..semantics.interpretation import INDEX_MIN_FACTS, Interpretation
+from ..semantics.interpretation import Interpretation
 from .builtins import DEFAULT_BUILTINS, Builtin
 from .database import Database, from_term
+from .executor import Executor, PlanInapplicable
+from .ir import ExecStats, GroupBy, PlanNode
+from .planner import CompiledPlan, compile_grouping, compile_rule, head_plan
 from .stratify import Stratification, stratify
 
 #: Default bound on fixpoint rounds (a safety net, not a semantic limit).
@@ -83,6 +86,7 @@ DEFAULT_MAX_ROUNDS = 100_000
 #: Default bound on the number of domain-fallback enumerations per rule
 #: application round; ``None`` disables the check.
 DEFAULT_FALLBACK_LIMIT = 5_000_000
+
 
 
 class ActiveDomain:
@@ -324,17 +328,13 @@ class Solver:
     def _estimate(
         self, pred: str, args: Sequence[Term], bound_pos: tuple[int, ...]
     ) -> int:
-        """Exact candidate count for a relational conjunct under ``env``."""
+        """Candidate-count estimate for a relational conjunct under ``env``
+        (the size of the index bucket :meth:`_candidates` would scan)."""
         if self.delta is not None and pred in self.delta:
             return len(self.delta[pred])
-        facts = self.interp.facts_of(pred)
-        n = len(facts)
         if not bound_pos:
-            return n
-        if not self.use_indexes or n < INDEX_MIN_FACTS:
-            return n
-        key = tuple(args[i] for i in bound_pos)
-        return self.interp.candidate_count(pred, bound_pos, key)
+            return len(self.interp.facts_of(pred))
+        return self.interp.estimate_for_pattern(pred, args, self.use_indexes)
 
     # -- dispatch ---------------------------------------------------------------
 
@@ -429,18 +429,14 @@ class Solver:
         The index is owned by the :class:`Interpretation` and maintained as
         facts are added, so it is shared between rounds, rules and solver
         instances instead of being rebuilt whenever the relation grows.
+        With several bound positions the shared policy picks the **most
+        selective** single bound position (comparing bucket sizes) rather
+        than committing to a per-signature composite index — see
+        :meth:`Interpretation.candidates_for_pattern`.
         """
-        facts = self.interp.facts_of(pattern.pred)
-        if not self.use_indexes or len(facts) < INDEX_MIN_FACTS:
-            return facts
-        bound_pos = tuple(
-            i for i, t in enumerate(pattern.args)
-            if not isinstance(t, SetExpr) and t.is_ground()
+        return self.interp.candidates_for_pattern(
+            pattern.pred, pattern.args, self.use_indexes
         )
-        if not bound_pos:
-            return facts
-        key = tuple(pattern.args[i] for i in bound_pos)
-        return self.interp.candidates(pattern.pred, bound_pos, key)
 
     def _solve_by_fallback(self, f: Formula, env: Subst) -> Iterator[Subst]:
         """Enumerate one unbound variable and retry (used when stuck)."""
@@ -588,6 +584,13 @@ class EvalOptions:
                           semantics-identical, for testing and measurement).
     ``plan_joins``      — order conjuncts by estimated selectivity from the
                           indexes (off = bound-argument-count heuristic).
+    ``compile_plans``   — compile plain conjunctive rule bodies to
+                          relational-algebra plans executed set-at-a-time
+                          (see DESIGN.md, "Plan IR and executor"); bodies
+                          the planner cannot schedule — and any rule
+                          application whose static predictions fail on
+                          real values — run on the tuple-at-a-time solver,
+                          so the model is bit-identical either way.
     """
 
     semi_naive: bool = True
@@ -597,6 +600,7 @@ class EvalOptions:
     track_provenance: bool = False
     use_indexes: bool = True
     plan_joins: bool = True
+    compile_plans: bool = True
 
 
 @dataclass
@@ -609,6 +613,7 @@ class EvalReport:
     passes: int = 0
     rule_applications: int = 0
     stats: SolverStats = field(default_factory=SolverStats)
+    exec: ExecStats = field(default_factory=ExecStats)
 
 
 class Model:
@@ -709,6 +714,8 @@ class Evaluator:
         self.stratification: Stratification = stratify(
             program, ignore=set(builtins)
         )
+        #: grouping clause -> compiled body plan (keyed with plan_joins).
+        self._grouping_plans: dict[tuple, CompiledPlan] = {}
 
     def _check_builtin_heads(self) -> None:
         for c in self.program.clauses:
@@ -829,6 +836,8 @@ class Evaluator:
                 return added
         round_no = 0
         prev_version = -1
+        use_plans = self.options.compile_plans and provenance is None
+        pj = self.options.plan_joins
 
         while True:
             round_no += 1
@@ -850,6 +859,15 @@ class Evaluator:
                 use_indexes=self.options.use_indexes,
                 plan_joins=self.options.plan_joins,
             )
+            executor = None
+            if use_plans:
+                executor = Executor(
+                    interp,
+                    self.builtins,
+                    delta=deltas,
+                    use_indexes=self.options.use_indexes,
+                    stats=report.exec,
+                )
             for rule in compiled:
                 if not rule.affected(changed_preds, domain_grew):
                     continue
@@ -862,7 +880,8 @@ class Evaluator:
                 )
                 if use_delta:
                     derived = rule.derive_delta(
-                        solver, deltas, recursive_preds
+                        solver, deltas, recursive_preds,
+                        executor=executor, plan_joins=pj,
                     )
                     for head in derived:
                         if head not in interp and head not in new_atoms:
@@ -876,7 +895,13 @@ class Evaluator:
                             rule.ground_premises(env, self.builtins),
                         )
                 else:
-                    derived = rule.derive(solver)
+                    derived = None
+                    if executor is not None:
+                        derived = rule.derive_via_plan(executor, pj)
+                        if derived is not None:
+                            solver.stats.derivations += len(derived)
+                    if derived is None:
+                        derived = rule.derive(solver)
                     for head in derived:
                         if head not in interp and head not in new_atoms:
                             new_atoms.add(head)
@@ -911,37 +936,41 @@ class Evaluator:
         Stratification guarantees the body's predicates are fully computed.
         Returns the head atoms actually added (consumed by maintenance).
         """
-        body = conj(*(
-            AtomF(l.atom) if l.positive else NotF(AtomF(l.atom))
-            for l in g.body
-        ))
-        solver = Solver(
-            interp,
-            domain,
-            self.builtins,
-            allow_fallback=self.options.allow_fallback,
-            fallback_limit=self.options.fallback_limit,
-            stats=report.stats,
-            use_indexes=self.options.use_indexes,
-            plan_joins=self.options.plan_joins,
-        )
-        groups: dict[tuple[Term, ...], set[Term]] = {}
+        groups: Optional[dict[tuple[Term, ...], set[Term]]] = None
         premises: dict[tuple[Term, ...], list[Atom]] = {}
-        for env in solver.solve(body):
-            key = tuple(env.apply(t) for t in g.head_args)
-            gval = env.apply(g.group_var)
-            if not gval.is_ground():
-                raise SafetyError(
-                    f"grouping variable {g.group_var} not bound by body of {g}"
-                )
-            groups.setdefault(key, set()).add(gval)
-            if provenance is not None:
-                premises.setdefault(key, []).extend(
-                    l.atom.substitute(env)
-                    for l in g.body
-                    if l.positive and not l.atom.is_special()
-                    and l.atom.pred not in self.builtins
-                )
+        if self.options.compile_plans and provenance is None:
+            groups = self._plan_grouping(g, interp, report)
+        if groups is None:
+            body = conj(*(
+                AtomF(l.atom) if l.positive else NotF(AtomF(l.atom))
+                for l in g.body
+            ))
+            solver = Solver(
+                interp,
+                domain,
+                self.builtins,
+                allow_fallback=self.options.allow_fallback,
+                fallback_limit=self.options.fallback_limit,
+                stats=report.stats,
+                use_indexes=self.options.use_indexes,
+                plan_joins=self.options.plan_joins,
+            )
+            groups = {}
+            for env in solver.solve(body):
+                key = tuple(env.apply(t) for t in g.head_args)
+                gval = env.apply(g.group_var)
+                if not gval.is_ground():
+                    raise SafetyError(
+                        f"grouping variable {g.group_var} not bound by body of {g}"
+                    )
+                groups.setdefault(key, set()).add(gval)
+                if provenance is not None:
+                    premises.setdefault(key, []).extend(
+                        l.atom.substitute(env)
+                        for l in g.body
+                        if l.positive and not l.atom.is_special()
+                        and l.atom.pred not in self.builtins
+                    )
         added: set[Atom] = set()
         for key, values in groups.items():
             args = list(key)
@@ -957,6 +986,45 @@ class Evaluator:
                 )
         return added
 
+    def _plan_grouping(
+        self, g: GroupingClause, interp: Interpretation, report: EvalReport
+    ) -> Optional[dict[tuple[Term, ...], set[Term]]]:
+        """Set-at-a-time grouping: execute the compiled body plan and
+        collect the groups; ``None`` falls back to the tuple path."""
+        key = (g, self.options.plan_joins)
+        cp = self._grouping_plans.get(key)
+        if cp is None:
+            cp = self._grouping_plans[key] = compile_grouping(
+                g, self.builtins, self.options.plan_joins
+            )
+        if not cp.is_set:
+            return None
+        executor = Executor(
+            interp,
+            self.builtins,
+            use_indexes=self.options.use_indexes,
+            stats=report.exec,
+        )
+        try:
+            root = cp.root
+            if isinstance(root, GroupBy):
+                # Head args are plain distinct variables: the plan already
+                # collected each group into a set column.
+                rows = executor.batch(root)
+                return {row[:-1]: set(row[-1].elems) for row in rows}
+            rows = executor.batch(root)
+            vars_ = root.out_vars
+            pos = {v: i for i, v in enumerate(vars_)}
+            gpos = pos[g.group_var]
+            resolvers = [executor._resolver(t, vars_) for t in g.head_args]
+            groups: dict[tuple[Term, ...], set[Term]] = {}
+            for row in rows:
+                k = tuple(f(row) for f in resolvers)
+                groups.setdefault(k, set()).add(row[gpos])
+            return groups
+        except PlanInapplicable:
+            return None
+
 
 class _CompiledRule:
     """Per-rule compilation: body formula, dependencies, delta capability."""
@@ -968,6 +1036,12 @@ class _CompiledRule:
         self.head_vars = clause.head.free_vars()
         self.body = clause.body_formula()
         self._delta_rest_cache: dict[int, tuple[Formula, frozenset]] = {}
+        # Plan IR compilation, keyed by (delta occurrence, plan_joins);
+        # compiled lazily — rules that never reach a plan consumer (e.g.
+        # under provenance tracking) pay nothing.
+        self._plan_cache: dict[tuple, CompiledPlan] = {}
+        self._head_plan_cache: dict[tuple, Optional[PlanNode]] = {}
+        self._head_shape_cache: dict[tuple, Optional[tuple[int, ...]]] = {}
         self.deps = {
             a.pred
             for l in clause.body
@@ -1007,6 +1081,80 @@ class _CompiledRule:
     def derive(self, solver: Solver) -> Iterator[Atom]:
         for head, _env in self.derive_with_env(solver):
             yield head
+
+    # -- plan-IR execution (set-at-a-time path) ---------------------------------
+
+    def plan(
+        self, delta_index: Optional[int] = None, plan_joins: bool = True
+    ) -> CompiledPlan:
+        """The compiled body plan (full-width rows), cached per variant."""
+        key = (delta_index, plan_joins)
+        cp = self._plan_cache.get(key)
+        if cp is None:
+            cp = self._plan_cache[key] = compile_rule(
+                self.clause, self.builtins, delta_index, plan_joins
+            )
+        return cp
+
+    def head_node(
+        self, delta_index: Optional[int] = None, plan_joins: bool = True
+    ) -> Optional[PlanNode]:
+        """The plan projected to head variables and deduplicated, or
+        ``None`` when the body compiles to tuple mode."""
+        key = (delta_index, plan_joins)
+        if key not in self._head_plan_cache:
+            self._head_plan_cache[key] = head_plan(
+                self.plan(delta_index, plan_joins)
+            )
+        return self._head_plan_cache[key]
+
+    def _head_shape(
+        self, node: PlanNode, key: tuple
+    ) -> Optional[tuple[int, ...]]:
+        """Column extraction for Datalog-shaped heads (args all variables):
+        head atoms then come straight from row cells, no substitution."""
+        if key not in self._head_shape_cache:
+            shape: Optional[tuple[int, ...]] = None
+            if all(t.__class__ is Var for t in self.head.args):
+                out = node.out_vars
+                shape = tuple(out.index(t) for t in self.head.args)
+            self._head_shape_cache[key] = shape
+        return self._head_shape_cache[key]
+
+    def _plan_heads(
+        self, executor: "Executor", pin: Optional[int], plan_joins: bool
+    ) -> Optional[list[Atom]]:
+        node = self.head_node(pin, plan_joins)
+        if node is None:
+            return None
+        try:
+            rows = executor.batch(node)
+        except PlanInapplicable:
+            return None
+        shape = self._head_shape(node, (pin, plan_joins))
+        if shape is not None:
+            pred = self.head.pred
+            return [Atom(pred, tuple(r[i] for i in shape)) for r in rows]
+        head, vars_ = self.head, node.out_vars
+        if not vars_:
+            return [head] if rows else []
+        return [
+            head.substitute(Subst._make(dict(zip(vars_, r)))) for r in rows
+        ]
+
+    def derive_via_plan(
+        self, executor: "Executor", plan_joins: bool = True
+    ) -> Optional[list[Atom]]:
+        """Head atoms via set-at-a-time execution; ``None`` means the rule
+        (or this application of it) must use the tuple path instead."""
+        return self._plan_heads(executor, None, plan_joins)
+
+    def derive_delta_via_plan(
+        self, executor: "Executor", pin: int, plan_joins: bool = True
+    ) -> Optional[list[Atom]]:
+        """Heads of the differentiated rule with occurrence ``pin`` read
+        from the executor's delta relation."""
+        return self._plan_heads(executor, pin, plan_joins)
 
     def _delta_rest(self, i: int) -> tuple[Formula, frozenset]:
         """The body minus the pinned conjunct, with its free variables.
@@ -1077,8 +1225,18 @@ class _CompiledRule:
         solver: Solver,
         deltas: Mapping[str, frozenset[Atom]],
         recursive_preds: set[str],
+        executor: Optional["Executor"] = None,
+        plan_joins: bool = True,
     ) -> Iterator[Atom]:
-        """Semi-naive differentiation: one recursive atom pinned to its delta."""
+        """Semi-naive differentiation: one recursive atom pinned to its delta.
+
+        With an ``executor`` each pinned occurrence is evaluated through
+        its compiled delta-variant plan (the pinned Scan reading the
+        executor's delta relation, everything else the full
+        interpretation); occurrences whose plan is tuple-mode — or whose
+        execution proves inapplicable — fall back to the solver path
+        below, per occurrence.
+        """
         pinned = [
             i for i, a in enumerate(self.relational)
             if a.pred in recursive_preds and a.pred in deltas
@@ -1087,6 +1245,15 @@ class _CompiledRule:
             return
         seen: set[Atom] = set()
         for i in pinned:
+            if executor is not None:
+                heads = self.derive_delta_via_plan(executor, i, plan_joins)
+                if heads is not None:
+                    for head in heads:
+                        if head not in seen:
+                            seen.add(head)
+                            solver.stats.derivations += 1
+                            yield head
+                    continue
             target = self.relational[i]
             delta_solver = Solver(
                 solver.interp,

@@ -63,6 +63,8 @@ from .evaluation import (
     SolverStats,
     _CompiledRule,
 )
+from .executor import Executor, PlanInapplicable
+from .ir import ExecStats
 from .provenance import SupportCounts
 from .stratify import PLAN_COUNTING, PLAN_DRED, PLAN_RECOMPUTE, StratumRules
 
@@ -167,6 +169,10 @@ class MaterializedModel:
                     and not (c.is_fact and c.head.is_ground())
                 ]
         self.last_report: Optional[MaintenanceReport] = None
+        #: Aggregated set-at-a-time executor counters across the initial
+        #: evaluation, every rebuild and every maintenance sweep (the REPL's
+        #: ``:stats`` reads this).
+        self.exec_stats = ExecStats()
         self._rebuild()
 
     # -- read API ---------------------------------------------------------------
@@ -262,6 +268,7 @@ class MaterializedModel:
     def _rebuild(self) -> None:
         """(Re)compute the model from scratch and reset all bookkeeping."""
         self._model = self._evaluator.run()
+        self.exec_stats.merge(self._model.report.exec)
         self._interp = self._model.interpretation
         self._domain = ActiveDomain()
         for t in self.program.all_terms():
@@ -306,6 +313,25 @@ class MaterializedModel:
             for rule in self._compiled[g.index]:
                 fv = frozenset(rule.clause.free_vars())
                 head_vars = rule.head_vars
+                planned = self._plan_rows(rule, None, None)
+                if planned is not None:
+                    # Set-at-a-time: the plan's full-width rows are the
+                    # rule's derivations (head groundedness is guaranteed
+                    # by compilation); dedup on the free-variable key.
+                    vars_, rows = planned
+                    fv_idx = tuple(
+                        i for i, v in enumerate(vars_) if v in fv
+                    )
+                    seen_keys: set[tuple] = set()
+                    for row in rows:
+                        key = tuple(row[i] for i in fv_idx)
+                        if key in seen_keys:
+                            continue
+                        seen_keys.add(key)
+                        counts.add(rule.head.substitute(
+                            Subst._make(dict(zip(vars_, row)))
+                        ))
+                    continue
                 seen: set[Subst] = set()
                 for env in solver.solve(rule.body):
                     self._require_head_ground(rule, env, head_vars)
@@ -335,6 +361,49 @@ class MaterializedModel:
             use_indexes=self.options.use_indexes,
             plan_joins=self.options.plan_joins,
         )
+
+    def _plan_rows(
+        self,
+        rule: _CompiledRule,
+        pin: Optional[int],
+        delta_facts: Optional[Iterable[Atom]],
+    ) -> Optional[tuple[tuple[Var, ...], list[tuple]]]:
+        """Full-width body rows of a rule through its compiled plan.
+
+        ``pin`` selects the delta-variant (that occurrence's Scan reads
+        ``delta_facts``); ``None`` executes the base plan.  Returns
+        ``(schema, rows)`` or ``None`` when the rule compiles to tuple
+        mode, plans are disabled, or execution proves inapplicable — the
+        callers then use the solver path, so maintenance **reuses the same
+        plans as the fixpoint loop** instead of re-deriving join order per
+        batch, with the tuple path as the unconditional fallback.
+        """
+        if not self.options.compile_plans:
+            return None
+        cp = rule.plan(pin, self.options.plan_joins)
+        if not cp.is_set:
+            return None
+        delta = None
+        if pin is not None:
+            delta = {rule.relational[pin].pred: delta_facts}
+        executor = Executor(
+            self._interp,
+            self.builtins,
+            delta=delta,
+            use_indexes=self.options.use_indexes,
+            stats=self.exec_stats,
+        )
+        try:
+            return cp.root.out_vars, executor.batch(cp.root)
+        except PlanInapplicable:
+            return None
+
+    @staticmethod
+    def _fv_order(rule: _CompiledRule) -> tuple[Var, ...]:
+        """Deterministic derivation-key order for a rule's free variables."""
+        return tuple(sorted(
+            rule.clause.free_vars(), key=lambda v: (v.var_sort, v.name)
+        ))
 
     @staticmethod
     def _require_head_ground(
@@ -497,14 +566,30 @@ class MaterializedModel:
         (the solver joins over the superset of both states).
         """
         rel = rule.relational
-        fv = frozenset(rule.clause.free_vars())
+        fv_order = self._fv_order(rule)
         head_vars = rule.head_vars
         solver = self._solver(stats)
-        seen: set[Subst] = set()
+        seen: set[tuple] = set()
         out: list[Atom] = []
         for i, pin_atom in enumerate(rel):
             delta_facts = pin_delta.get(pin_atom.pred)
             if not delta_facts:
+                continue
+            planned = self._plan_rows(rule, i, delta_facts)
+            if planned is not None:
+                vars_, rows = planned
+                fv_idx = tuple(vars_.index(v) for v in fv_order)
+                for row in rows:
+                    env = Subst._make(dict(zip(vars_, row)))
+                    if not self._delta_positions_ok(
+                        rel, i, env, dep_gained, dep_lost, deleting
+                    ):
+                        continue
+                    key = tuple(row[j] for j in fv_idx)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    out.append(rule.head.substitute(env))
                 continue
             rest, rest_fv = rule._delta_rest(i)
             for f in delta_facts:
@@ -515,7 +600,7 @@ class MaterializedModel:
                         ):
                             continue
                         self._require_head_ground(rule, env, head_vars)
-                        key = env.restrict(fv)
+                        key = tuple(env.apply(v) for v in fv_order)
                         if key in seen:
                             continue
                         seen.add(key)
@@ -655,12 +740,33 @@ class MaterializedModel:
             facts = frontier.get(pin_atom.pred)
             if not facts:
                 continue
+            planned = self._plan_rows(rule, i, facts)
+            if planned is not None:
+                vars_, rows = planned
+                for row in rows:
+                    env = Subst._make(dict(zip(vars_, row)))
+                    # Overdeletion runs over the pre-batch state: facts
+                    # gained below this stratum are not part of it.
+                    if any(
+                        dep_gained.get(a.pred)
+                        and a.substitute(env) in dep_gained[a.pred]
+                        for j, a in enumerate(rel) if j != i
+                    ):
+                        continue
+                    h = rule.head.substitute(env)
+                    if (
+                        h in overdeleted
+                        or h not in self._interp
+                        or self._protected(h)
+                    ):
+                        continue
+                    overdeleted.add(h)
+                    next_frontier.setdefault(h.pred, set()).add(h)
+                continue
             rest, rest_fv = rule._delta_rest(i)
             for f in facts:
                 for env0 in match_atom(pin_atom, f):
                     for env in solver.solve(rest, env0, fv=rest_fv):
-                        # Overdeletion runs over the pre-batch state: facts
-                        # gained below this stratum are not part of it.
                         if any(
                             dep_gained.get(a.pred)
                             and a.substitute(env) in dep_gained[a.pred]
@@ -705,7 +811,7 @@ class MaterializedModel:
             clauses,
             self._interp,
             self._domain,
-            EvalReport(stats=stats),
+            EvalReport(stats=stats, exec=self.exec_stats),
             seed_deltas={p: frozenset(s) for p, s in seed.items()},
         )
 
@@ -731,7 +837,7 @@ class MaterializedModel:
             c for c in group.clauses if isinstance(c, GroupingClause)
         ]
         normal = [c for c in group.clauses if isinstance(c, LPSClause)]
-        ereport = EvalReport(stats=stats)
+        ereport = EvalReport(stats=stats, exec=self.exec_stats)
         for g in grouping:
             grouped = self._evaluator._apply_grouping(
                 g, self._interp, self._domain, ereport

@@ -29,9 +29,9 @@ from ..core.formulas import Formula, evaluate
 from ..core.program import Program
 from ..core.sorts import EQUALS, MEMBER
 from ..core.substitution import Subst
-from ..core.terms import SetExpr, SetValue, Term, Var, free_vars
+from ..core.terms import SetValue, Term, Var, free_vars
 from ..core.unify import unify, unify_atoms
-from ..semantics.interpretation import INDEX_MIN_FACTS, Interpretation
+from ..semantics.interpretation import Interpretation
 from .builtins import DEFAULT_BUILTINS, Builtin
 from .database import Database
 
@@ -236,25 +236,15 @@ class TopDownProver:
     def _fact_candidates(self, a: Atom):
         """Facts that can resolve the (env-applied) goal atom ``a``.
 
-        Looks up the indexed fact store on the goal's bound argument
-        positions; small relations and all-unbound goals scan the
-        insertion-ordered fact map directly.  Facts were inserted in
-        ``atom_order_key`` order, so enumeration order is deterministic
-        regardless of how the database iterated.
+        Uses the interpretation's shared candidate policy (single-position
+        indexes, most selective bound position first — see
+        :meth:`Interpretation.candidates_for_pattern`); small relations
+        and all-unbound goals scan the insertion-ordered fact map
+        directly.  Facts were inserted in ``atom_order_key`` order, so
+        enumeration order is deterministic regardless of how the database
+        iterated.
         """
-        facts = self._facts.facts_of(a.pred)
-        if not facts:
-            return ()
-        if len(facts) < INDEX_MIN_FACTS:
-            return facts
-        bound_pos = tuple(
-            i for i, t in enumerate(a.args)
-            if not isinstance(t, SetExpr) and t.is_ground()
-        )
-        if not bound_pos:
-            return facts
-        key = tuple(a.args[i] for i in bound_pos)
-        return self._facts.candidates(a.pred, bound_pos, key)
+        return self._facts.candidates_for_pattern(a.pred, a.args)
 
     def holds_closed(self, a: Atom) -> bool:
         """Ground-atom provability (used for negation as failure)."""

@@ -11,9 +11,15 @@ extends the flat relational algebra with two restructuring operators:
 
 The classical operators (select/project/rename/join/union/difference) are
 included so the examples and benchmarks can express complete queries.  The
-algebra is value-level and independent of the LPS engine;
-:mod:`repro.nested.bridge` converts between relations and LPS facts so the
-tests can check, per the paper, that the algebra and the rules agree.
+algebra is value-level and independent of the LPS engine — but it is *not*
+an independent implementation: every operator is a thin schema-handling
+wrapper over the row kernels of :mod:`repro.engine.ir`, the same kernels
+the plan executor runs on ground terms.  Example 4 therefore round-trips
+through one shared operator semantics, whether a query is written against
+relations here or as LPS rules compiled to plans (see
+:mod:`repro.nested.bridge` for the conversion, and
+``bridge.unnest_via_engine`` / ``bridge.nest_via_engine`` for the
+engine-executed forms the tests compare against).
 
 Known (and classical) caveat, tested explicitly: ``unnest`` drops rows whose
 set component is empty, so ``nest ∘ unnest`` is the identity only on
@@ -25,6 +31,14 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterable, Mapping
 
+from ..engine.ir import (
+    anti_join_rows,
+    join_rows,
+    nest_rows,
+    project_rows,
+    select_rows,
+    unnest_rows,
+)
 from .relation import NestedRelation, Row
 from .schema import ATOMIC, SETOF, Attribute, Schema, SchemaError
 
@@ -35,19 +49,16 @@ def select(
     """σ: keep rows satisfying a predicate over an attribute-name mapping."""
     names = rel.schema.names()
     out = NestedRelation(rel.schema)
-    for row in rel:
-        if predicate(dict(zip(names, row))):
-            out.insert(*row)
+    out.extend(select_rows(rel, lambda row: predicate(dict(zip(names, row)))))
     return out
 
 
 def project(rel: NestedRelation, names: Iterable[str]) -> NestedRelation:
     """π: project onto the named attributes (set semantics: dedupes)."""
     names = list(names)
-    idx = [rel.schema.index_of(n) for n in names]
+    idx = tuple(rel.schema.index_of(n) for n in names)
     out = NestedRelation(rel.schema.project(names))
-    for row in rel:
-        out.insert(*(row[i] for i in idx))
+    out.extend(project_rows(rel, idx))
     return out
 
 
@@ -73,15 +84,19 @@ def union(r1: NestedRelation, r2: NestedRelation) -> NestedRelation:
 def difference(r1: NestedRelation, r2: NestedRelation) -> NestedRelation:
     if r1.schema != r2.schema:
         raise SchemaError("difference requires identical schemas")
+    all_idx = tuple(range(r1.schema.arity))
     out = NestedRelation(r1.schema)
-    for row in r1:
-        if row not in r2:
-            out.insert(*row)
+    out.extend(anti_join_rows(list(r1), list(r2), all_idx, all_idx))
     return out
 
 
 def natural_join(r1: NestedRelation, r2: NestedRelation) -> NestedRelation:
-    """⋈ on shared attribute names (set-valued attributes join by equality)."""
+    """⋈ on shared attribute names (set-valued attributes join by equality).
+
+    Delegates to the executor's hash-join kernel
+    (:func:`repro.engine.ir.join_rows`) — attribute names play the role
+    plan variables play in compiled rule bodies.
+    """
     shared = [n for n in r1.schema.names() if n in set(r2.schema.names())]
     for n in shared:
         if r1.schema.attribute(n).kind != r2.schema.attribute(n).kind:
@@ -91,18 +106,11 @@ def natural_join(r1: NestedRelation, r2: NestedRelation) -> NestedRelation:
         r1.schema.attributes
         + tuple(r2.schema.attribute(n) for n in right_only)
     )
-    idx1 = {n: r1.schema.index_of(n) for n in r1.schema.names()}
-    idx2 = {n: r2.schema.index_of(n) for n in r2.schema.names()}
-
-    by_key: dict[tuple, list[Row]] = {}
-    for row in r2:
-        key = tuple(row[idx2[n]] for n in shared)
-        by_key.setdefault(key, []).append(row)
+    lkey = tuple(r1.schema.index_of(n) for n in shared)
+    rkey = tuple(r2.schema.index_of(n) for n in shared)
+    rtake = tuple(r2.schema.index_of(n) for n in right_only)
     out = NestedRelation(out_schema)
-    for row in r1:
-        key = tuple(row[idx1[n]] for n in shared)
-        for other in by_key.get(key, ()):
-            out.insert(*row, *(other[idx2[n]] for n in right_only))
+    out.extend(join_rows(list(r1), list(r2), lkey, rkey, rtake))
     return out
 
 
@@ -110,34 +118,26 @@ def unnest(rel: NestedRelation, name: str) -> NestedRelation:
     """μ: flatten a set-valued attribute (Example 4's unnest).
 
     Rows with an empty set at ``name`` produce no output rows — the
-    classical information loss of the operator.
+    classical information loss of the operator, preserved identically by
+    the shared kernel (:func:`repro.engine.ir.unnest_rows`) and by the
+    engine's ``Unnest`` plan operator.
     """
     attr = rel.schema.attribute(name)
     if attr.kind != SETOF:
         raise SchemaError(f"cannot unnest atomic attribute {name!r}")
     pos = rel.schema.index_of(name)
     out = NestedRelation(rel.schema.with_kind(name, ATOMIC))
-    for row in rel:
-        for elem in row[pos]:
-            new_row = list(row)
-            new_row[pos] = elem
-            out.insert(*new_row)
+    out.extend(unnest_rows(rel, pos, iter))
     return out
 
 
 def nest(rel: NestedRelation, name: str) -> NestedRelation:
-    """ν: group on all other attributes, collecting ``name`` into a set."""
+    """ν: group on all other attributes, collecting ``name`` into a set
+    (the value-level twin of the engine's ``GroupBy`` plan operator)."""
     attr = rel.schema.attribute(name)
     if attr.kind != ATOMIC:
         raise SchemaError(f"cannot nest set-valued attribute {name!r}")
     pos = rel.schema.index_of(name)
-    groups: dict[tuple, set] = {}
-    for row in rel:
-        key = row[:pos] + row[pos + 1:]
-        groups.setdefault(key, set()).add(row[pos])
     out = NestedRelation(rel.schema.with_kind(name, SETOF))
-    for key, values in groups.items():
-        new_row = list(key)
-        new_row.insert(pos, frozenset(values))
-        out.insert(*new_row)
+    out.extend(nest_rows(rel, pos, frozenset))
     return out

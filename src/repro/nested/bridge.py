@@ -78,6 +78,39 @@ def unnest_program(
     return Program.of(rule)
 
 
+def unnest_via_engine(
+    rel: NestedRelation, name: str, src_pred: str = "r", dst_pred: str = "s"
+) -> NestedRelation:
+    """Example 4 round-trip: run μ as an LPS rule through the engine.
+
+    Loads the relation as facts, evaluates :func:`unnest_program` (whose
+    rule compiles to a ``Scan → Unnest`` plan executed set-at-a-time —
+    the same operator semantics :func:`repro.nested.algebra.unnest` runs
+    on values), and reads the result back under the unnested schema.
+    """
+    from ..engine.evaluation import Evaluator
+
+    program = unnest_program(rel.schema, name, src_pred, dst_pred)
+    db = relation_to_database(rel, src_pred)
+    model = Evaluator(program, db).run()
+    out_schema = rel.schema.with_kind(name, ATOMIC)
+    return relation_from_model(model, dst_pred, out_schema)
+
+
+def nest_via_engine(
+    rel: NestedRelation, name: str, src_pred: str = "r", dst_pred: str = "s"
+) -> NestedRelation:
+    """ν as an LDL grouping clause evaluated by the engine (``GroupBy``
+    plan operator), read back under the nested schema."""
+    from ..engine.evaluation import Evaluator
+
+    program = nest_program(rel.schema, name, src_pred, dst_pred)
+    db = relation_to_database(rel, src_pred)
+    model = Evaluator(program, db).run()
+    out_schema = rel.schema.with_kind(name, SETOF)
+    return relation_from_model(model, dst_pred, out_schema)
+
+
 def nest_program(
     schema: Schema, name: str, src_pred: str, dst_pred: str
 ) -> Program:

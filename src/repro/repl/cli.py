@@ -13,8 +13,11 @@ model (:class:`~repro.engine.maintenance.MaterializedModel`):
 * ``+fact.`` asserts and ``-fact.`` retracts a ground fact — the model is
   *maintained*, not recomputed, so churning facts against a large program
   stays cheap,
-* ``?- atom.`` queries the current model, ``:model`` prints it, ``:stats``
-  shows what the last delta did, ``:quit`` exits.
+* ``?- atom.`` queries the current model, ``:model`` prints it,
+* ``:plan rule.`` pretty-prints the relational-algebra plan the engine
+  compiles the rule body to (or why it stays on the tuple path),
+* ``:stats`` shows what the last delta did plus the set-at-a-time
+  executor's counters (batches, rows in/out per operator), ``:quit`` exits.
 """
 
 from __future__ import annotations
@@ -23,10 +26,12 @@ import argparse
 import sys
 from typing import Optional
 
+from ..core.clauses import GroupingClause, LPSClause
 from ..core.errors import EvaluationError, LPSError
 from ..engine.database import Database
 from ..engine.evaluation import Evaluator, Model
 from ..engine.maintenance import MaintenanceReport, MaterializedModel
+from ..engine.planner import compile_grouping, compile_rule
 from ..engine.setops import with_set_builtins
 from ..lang import parse_atom, parse_program
 
@@ -109,6 +114,48 @@ class Session:
     def retract_fact(self, text: str) -> MaintenanceReport:
         return self.materialized.apply_delta(dels=[self._parse_fact(text)])
 
+    def plan_text(self, text: str) -> str:
+        """The compiled plan of one rule (or grouping clause), pretty-printed.
+
+        The clause is parsed standalone and compiled against the same
+        builtin registry the session's engine runs with (the REPL always
+        evaluates with ``with_set_builtins()``); it is *not* added to the
+        program.
+        """
+        program = parse_program(text)
+        if not program.clauses:
+            raise EvaluationError("no clause to plan")
+        builtins = with_set_builtins()  # == the registry `materialized` uses
+        chunks = []
+        # Sugar like positive-formula bodies desugars into several clauses
+        # (Theorem 6); show the plan of each one.
+        for clause in program.clauses:
+            if isinstance(clause, GroupingClause):
+                cp = compile_grouping(clause, builtins)
+            elif isinstance(clause, LPSClause):
+                cp = compile_rule(clause, builtins)
+            else:  # pragma: no cover - parser produces only the two forms
+                raise EvaluationError(f"cannot plan {clause!r}")
+            header = f"-- {clause}"
+            if not cp.is_set:
+                chunks.append(f"{header}\ntuple-mode: {cp.reason}")
+            else:
+                chunks.append(f"{header}\n{cp.root.pretty()}")
+        return "\n\n".join(chunks)
+
+    def stats_text(self) -> str:
+        """The ``:stats`` payload: last-delta summary + executor counters."""
+        report = self.materialized.last_report
+        if report is None:
+            lines = ["no deltas applied yet"]
+        else:
+            lines = [
+                f"last delta: strategy={report.strategy} "
+                f"+{report.atoms_added}/-{report.atoms_removed} model atoms"
+            ]
+        lines.append(self.materialized.exec_stats.pretty())
+        return "\n".join(lines)
+
 
 def cmd_repl(path: Optional[str]) -> int:
     session = Session()
@@ -117,7 +164,7 @@ def cmd_repl(path: Optional[str]) -> int:
             session.add_clause(f.read())
     print("LPS repl — clauses end with '.', queries start with '?-', "
           "+fact./-fact. insert/delete facts, :model prints the model, "
-          ":quit exits.")
+          ":plan rule. shows its compiled plan, :quit exits.")
     while True:
         try:
             line = input("lps> ").strip()
@@ -132,13 +179,9 @@ def cmd_repl(path: Optional[str]) -> int:
             if line == ":model":
                 print(session.model.pretty())
             elif line == ":stats":
-                report = session.materialized.last_report
-                if report is None:
-                    print("no deltas applied yet")
-                else:
-                    print(f"last delta: strategy={report.strategy} "
-                          f"+{report.atoms_added}/-{report.atoms_removed} "
-                          f"model atoms")
+                print(session.stats_text())
+            elif line.startswith(":plan"):
+                print(session.plan_text(line[len(":plan"):].strip()))
             elif line.startswith("+"):
                 report = session.assert_fact(line[1:])
                 print("added." if report.net_added else "no change.")

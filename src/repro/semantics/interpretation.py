@@ -30,7 +30,7 @@ from ..core.errors import EvaluationError
 from ..core.formulas import evaluate
 from ..core.program import Program
 from ..core.substitution import Subst
-from ..core.terms import SetValue, Term, Var, setvalue
+from ..core.terms import SetExpr, SetValue, Term, Var, setvalue
 from .herbrand import Universe
 
 
@@ -212,6 +212,83 @@ class Interpretation:
         """``len(candidates(...))`` without materialising anything new."""
         bucket = self._index_for(pred, positions).get(key)
         return 0 if bucket is None else len(bucket)
+
+    def has_index(self, pred: str, positions: tuple[int, ...]) -> bool:
+        """Whether an index for this position signature is already built."""
+        per = self._indexes.get(pred)
+        return per is not None and positions in per
+
+    def _bound_positions(
+        self, args: Sequence[Term]
+    ) -> list[tuple[int, Term]]:
+        return [
+            (i, t) for i, t in enumerate(args)
+            if not isinstance(t, SetExpr) and t.is_ground()
+        ]
+
+    def _bucket_for_pattern(
+        self, pred: str, args: Sequence[Term], use_indexes: bool
+    ) -> Optional[tuple[tuple[int, ...], tuple]]:
+        """The (positions, key) bucket a pattern's scan should read.
+
+        The single shared selection policy behind both
+        :meth:`candidates_for_pattern` and :meth:`estimate_for_pattern`:
+        ``None`` means scan the whole relation (indexes off, relation
+        below ``INDEX_MIN_FACTS``, or no bound position); a single bound
+        position uses its (incrementally maintained) index; with several
+        bound positions an already-built composite index is used exactly,
+        and otherwise the **most selective single bound position** is
+        chosen by comparing bucket sizes — single-position indexes are
+        shared across every pattern shape of the predicate, where
+        per-signature composite indexes would each pay an O(relation)
+        build.
+        """
+        if not use_indexes:
+            return None
+        if len(self._by_pred.get(pred, _EMPTY_FACTS)) < INDEX_MIN_FACTS:
+            return None
+        bound = self._bound_positions(args)
+        if not bound:
+            return None
+        if len(bound) == 1:
+            i, t = bound[0]
+            return (i,), (t,)
+        positions = tuple(i for i, _ in bound)
+        if self.has_index(pred, positions):
+            return positions, tuple(t for _, t in bound)
+        best_i, best_t, best_n = bound[0][0], bound[0][1], None
+        for i, t in bound:
+            n = self.candidate_count(pred, (i,), (t,))
+            if best_n is None or n < best_n:
+                best_i, best_t, best_n = i, t, n
+        return (best_i,), (best_t,)
+
+    def candidates_for_pattern(
+        self, pred: str, args: Sequence[Term], use_indexes: bool = True
+    ) -> Iterable[Atom]:
+        """Candidate facts for a pattern atom's bound argument positions.
+
+        The shared index policy (see :meth:`_bucket_for_pattern`) for the
+        solver, the top-down prover and the plan executor.  The result may
+        be a superset of the matching facts (callers re-match
+        candidates), but is never larger than the chosen bucket.
+        """
+        bucket = self._bucket_for_pattern(pred, args, use_indexes)
+        if bucket is None:
+            return self._by_pred.get(pred, _EMPTY_FACTS)
+        return self.candidates(pred, *bucket)
+
+    def estimate_for_pattern(
+        self, pred: str, args: Sequence[Term], use_indexes: bool = True
+    ) -> int:
+        """Candidate-count estimate matching :meth:`candidates_for_pattern`
+        exactly — both consult :meth:`_bucket_for_pattern`, so the join
+        planner's cost estimate is the size of the very bucket the scan
+        would read (an upper bound on the true join fan-out)."""
+        bucket = self._bucket_for_pattern(pred, args, use_indexes)
+        if bucket is None:
+            return len(self._by_pred.get(pred, _EMPTY_FACTS))
+        return self.candidate_count(pred, *bucket)
 
     def predicates(self) -> set[str]:
         return {p for p, s in self._by_pred.items() if s}

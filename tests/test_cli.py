@@ -100,6 +100,36 @@ class TestRepl:
         # path(a, c): true after insert, false after delete.
         assert "true" in out and "false" in out
 
+    def test_repl_plan_command(self, monkeypatch, capsys):
+        lines = iter([
+            ":plan t(X, Z) :- e(X, Y), t(Y, Z).",
+            ":plan subset(X, Y) :- s(X), s(Y), forall A in X (A in Y).",
+            ":quit",
+        ])
+        monkeypatch.setattr("builtins.input", lambda prompt="": next(lines))
+        assert main(["repl"]) == 0
+        out = capsys.readouterr().out
+        assert "Join[Y]" in out
+        assert "Scan[e(X, Y)]" in out
+        assert "Scan[t(Y, Z)]" in out
+        assert "tuple-mode" in out          # the quantified clause
+
+    def test_repl_stats_include_executor_counters(self, monkeypatch, capsys):
+        lines = iter([
+            "path(X, Y) :- edge(X, Y).",
+            "path(X, Z) :- edge(X, Y), path(Y, Z).",
+            *(f"+edge(v{i}, v{i+1})." for i in range(10)),
+            ":stats",
+            ":quit",
+        ])
+        monkeypatch.setattr("builtins.input", lambda prompt="": next(lines))
+        assert main(["repl"]) == 0
+        out = capsys.readouterr().out
+        assert "strategy=incremental" in out
+        assert "executor:" in out
+        assert "batches" in out
+        assert "Scan" in out and "Join" in out
+
     def test_repl_rejects_non_ground_fact(self, monkeypatch, capsys):
         lines = iter(["p(a).", "+p(X).", ":quit"])
         monkeypatch.setattr("builtins.input", lambda prompt="": next(lines))

@@ -1,13 +1,18 @@
-"""Index and planner correctness: the optimised paths change nothing.
+"""Index, planner and plan-IR correctness: the optimised paths change nothing.
 
-The engine's argument indexes (`Interpretation.candidates`) and the
-selectivity-driven join planner (`Solver._priority`) are pure optimisations:
-for every program and database they must yield exactly the same model as a
-forced unindexed scan with the left-to-right-ish bound-count heuristic.
-This file checks that across the workload generators in
-``repro.workloads.generators`` and across random set programs, in all four
-on/off combinations of ``use_indexes`` × ``plan_joins``.
+The engine's argument indexes (`Interpretation.candidates`), the
+selectivity-driven join planner (`Solver._priority`) and the compiled
+set-at-a-time plan pipeline (`EvalOptions.compile_plans`, see DESIGN.md
+"Plan IR and executor") are pure optimisations: for every program and
+database they must yield exactly the same model as a forced unindexed
+scan with the left-to-right-ish bound-count heuristic on the
+tuple-at-a-time solver.  This file checks that across the workload
+generators in ``repro.workloads.generators`` and across random set
+programs, over the full on/off grid of
+``compile_plans`` × ``use_indexes`` × ``plan_joins``.
 """
+
+from itertools import product
 
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -29,10 +34,8 @@ from repro.workloads import (
 )
 
 MODES = [
-    {"use_indexes": True, "plan_joins": True},
-    {"use_indexes": True, "plan_joins": False},
-    {"use_indexes": False, "plan_joins": True},
-    {"use_indexes": False, "plan_joins": False},
+    {"compile_plans": cp, "use_indexes": ui, "plan_joins": pj}
+    for cp, ui, pj in product((True, False), repeat=3)
 ]
 
 
@@ -175,6 +178,53 @@ def _assert_indexes_match_scan(interp):
                     assert sorted(map(str, got)) == sorted(map(str, scan))
                     assert (interp.candidate_count(pred, positions, key)
                             == len(scan))
+
+
+# ---------------------------------------------------------------------------
+# Most-selective-position candidate choice (the skewed-relation regression:
+# the solver must not commit to a fixed bound position when another bound
+# position's index bucket is far smaller).
+# ---------------------------------------------------------------------------
+
+from repro.engine.evaluation import ActiveDomain, Solver
+from repro.semantics.interpretation import Interpretation as _Interp
+
+
+def _skewed_interpretation(n=200):
+    """``r(hub, i)`` for many i (position 0 is useless) plus a handful of
+    ``r(x_j, probe)`` rows (position 1 is highly selective)."""
+    interp = _Interp()
+    for i in range(n):
+        interp.add(atom("r", const("hub"), const(f"v{i}")))
+    for j in range(3):
+        interp.add(atom("r", const(f"x{j}"), const("probe")))
+    interp.add(atom("r", const("hub"), const("probe")))
+    return interp
+
+
+def test_candidates_choose_most_selective_bound_position():
+    interp = _skewed_interpretation()
+    solver = Solver(interp, ActiveDomain())
+    pattern = atom("r", const("hub"), const("probe"))
+    candidates = list(solver._candidates(pattern))
+    # Position 0 ("hub") matches 201 facts; position 1 ("probe") matches 4.
+    # A first-bound-position choice would scan the 201-row bucket.
+    assert len(candidates) <= 4
+    assert atom("r", const("hub"), const("probe")) in candidates
+    # The estimate the join planner sees agrees with the chosen bucket.
+    assert solver._estimate("r", pattern.args, (0, 1)) <= 4
+
+
+def test_skewed_pattern_models_agree():
+    db = Database()
+    for i in range(40):
+        db.add("r", "hub", f"v{i}")
+    for j in range(3):
+        db.add("r", f"x{j}", "probe")
+    program = parse_program("""
+    hit(X) :- r(hub, Y), r(X, probe), r(X, Y).
+    """)
+    assert_all_agree(program, db)
 
 
 @settings(max_examples=30)

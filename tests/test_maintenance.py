@@ -41,6 +41,9 @@ MODES = [
     {"use_indexes": True, "plan_joins": False},
     {"use_indexes": False, "plan_joins": True},
     {"use_indexes": False, "plan_joins": False},
+    # Legacy tuple-at-a-time maintenance (plans are on by default above).
+    {"use_indexes": True, "plan_joins": True, "compile_plans": False},
+    {"use_indexes": False, "plan_joins": False, "compile_plans": False},
 ]
 
 
