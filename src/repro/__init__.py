@@ -18,7 +18,10 @@ The package provides:
 * ``repro.nested`` - a nested (non-1NF) relational-algebra substrate;
 * ``repro.baseline`` - a from-scratch mini-Prolog running the
   introduction's list encodings, used as the benchmark baseline;
-* ``repro.workloads`` - synthetic workload generators for the benchmarks.
+* ``repro.workloads`` - synthetic workload generators for the benchmarks;
+* ``repro.server`` - the concurrent query service: snapshot-isolated
+  sessions over a versioned maintained model, a thread-pool front end
+  and a line-oriented TCP protocol (the REPL is a thin client of it).
 
 Quickstart::
 

@@ -38,7 +38,13 @@ from .evaluation import (
 )
 from .executor import Executor, PlanInapplicable
 from .ir import MODE_SET, MODE_TUPLE, ExecStats
-from .maintenance import MaintenanceReport, MaterializedModel
+from .maintenance import (
+    MaintenanceReport,
+    MaterializedModel,
+    ModelSnapshot,
+    RetiredVersionError,
+    VersionedModel,
+)
 from .planner import CompiledPlan, compile_grouping, compile_rule, head_plan
 from .setops import set_builtins, with_set_builtins
 from .stratify import Stratification, StratumRules, is_stratified, stratify
@@ -72,6 +78,9 @@ __all__ = [
     "set_builtins",
     "with_set_builtins",
     "MaterializedModel",
+    "ModelSnapshot",
+    "RetiredVersionError",
+    "VersionedModel",
     "MaintenanceReport",
     "Stratification",
     "StratumRules",

@@ -64,21 +64,67 @@ def from_term(term: Term) -> Any:
 
 
 class Database:
-    """A mutable collection of ground facts, keyed by predicate."""
+    """A mutable collection of ground facts, keyed by predicate.
+
+    :meth:`snapshot` returns an immutable O(#predicates) view sharing the
+    per-predicate fact sets; the writable original copies a predicate's
+    set on its next mutation (copy-on-write), mirroring
+    :meth:`repro.semantics.interpretation.Interpretation.snapshot`.
+    """
 
     def __init__(self) -> None:
         self._facts: dict[str, set[Atom]] = {}
+        self._frozen = False
+        #: Predicates whose fact set is shared with a snapshot.
+        self._shared: set[str] = set()
+
+    # -- snapshots / copy-on-write ------------------------------------------------
+
+    @property
+    def frozen(self) -> bool:
+        """Whether this database is an immutable snapshot."""
+        return self._frozen
+
+    def snapshot(self) -> "Database":
+        """An immutable O(#predicates) snapshot of the current facts."""
+        snap = Database.__new__(Database)
+        snap._facts = dict(self._facts)
+        snap._frozen = True
+        snap._shared = set()
+        if not self._frozen:
+            self._shared = set(self._facts)
+        return snap
+
+    def _mutable_bucket(self, pred: str):
+        """The predicate's fact set, un-shared and safe to mutate."""
+        if self._frozen:
+            raise EvaluationError(
+                "database is a frozen snapshot and cannot be mutated"
+            )
+        shared = self._shared
+        if shared and pred in shared:
+            shared.discard(pred)
+            bucket = self._facts.get(pred)
+            if bucket is not None:
+                bucket = self._facts[pred] = set(bucket)
+            return bucket
+        return self._facts.get(pred)
+
+    # -- mutation ----------------------------------------------------------------
 
     def add(self, pred: str, *args: Any) -> Atom:
         """Assert ``pred(args...)``, converting Python values to terms."""
         a = Atom(pred, tuple(to_term(v) for v in args))
-        self._facts.setdefault(pred, set()).add(a)
+        self.add_atom(a)
         return a
 
     def add_atom(self, a: Atom) -> None:
         if not a.is_ground():
             raise EvaluationError(f"fact {a} is not ground")
-        self._facts.setdefault(a.pred, set()).add(a)
+        bucket = self._mutable_bucket(a.pred)
+        if bucket is None:
+            bucket = self._facts[a.pred] = set()
+        bucket.add(a)
 
     def retract(self, pred: str, *args: Any) -> bool:
         """Retract ``pred(args...)``; returns ``True`` if it was present."""
@@ -88,6 +134,7 @@ class Database:
         bucket = self._facts.get(a.pred)
         if bucket is None or a not in bucket:
             return False
+        bucket = self._mutable_bucket(a.pred)
         bucket.discard(a)
         if not bucket:
             del self._facts[a.pred]

@@ -159,12 +159,26 @@ class ActiveDomain:
 
 @dataclass
 class SolverStats:
-    """Counters exposed for benchmarks and the safety tests."""
+    """Counters exposed for benchmarks and the safety tests.
+
+    A ``SolverStats`` is single-threaded state: every solver instance gets
+    its own (or an explicitly shared one from a single-threaded caller).
+    Concurrent consumers (the query service) keep one per session and
+    combine them with :meth:`merge` on read, never sharing a live instance
+    across threads.
+    """
 
     matches: int = 0
     fallbacks: int = 0
     fallback_bindings: int = 0
     derivations: int = 0
+
+    def merge(self, other: "SolverStats") -> None:
+        """Fold another stats object into this one (counter-wise sum)."""
+        self.matches += other.matches
+        self.fallbacks += other.fallbacks
+        self.fallback_bindings += other.fallback_bindings
+        self.derivations += other.derivations
 
 
 class Solver:

@@ -40,8 +40,9 @@ The maintained model is therefore *always* identical to a from-scratch
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Mapping, Optional
+from typing import Any, Iterable, Iterator, Mapping, Optional
 
 from ..core.atoms import Atom
 from ..core.clauses import GroupingClause, LPSClause
@@ -850,3 +851,232 @@ class MaterializedModel:
         for p, s in closure.items():
             add_events.setdefault(p, set()).update(s)
         return add_events, rem_events
+
+
+# ---------------------------------------------------------------------------
+# Versioned publication: snapshot-isolated reads over a maintained model
+# ---------------------------------------------------------------------------
+
+class RetiredVersionError(EvaluationError):
+    """The requested snapshot version is no longer resolvable.
+
+    Raised by :meth:`VersionedModel.at` when a reader asks for a version
+    the registry has already retired (older than ``keep_versions`` and not
+    pinned by any session).  The error is *per-request*: the shared model
+    and every still-registered snapshot are unaffected.
+    """
+
+
+@dataclass(frozen=True)
+class ModelSnapshot:
+    """One published version: an immutable view of the maintained model.
+
+    ``interpretation`` and ``database`` are frozen copy-on-write snapshots
+    (see :meth:`Interpretation.snapshot`), so holding a ``ModelSnapshot``
+    is O(#predicates) and reading it never blocks — or observes — the
+    writer.  ``report`` is the maintenance report of the delta that
+    produced this version (``None`` for version 0).
+    """
+
+    version: int
+    interpretation: Interpretation
+    database: Database
+    report: Optional[MaintenanceReport] = None
+
+    def holds(self, a: Atom) -> bool:
+        from ..core.formulas import evaluate_ground_atom
+
+        return evaluate_ground_atom(a, self.interpretation.holds)
+
+    def query(self, pattern: Atom) -> Iterator[Subst]:
+        """All substitutions matching a pattern atom, in deterministic order."""
+        from ..core.atoms import atom_order_key
+
+        for f in sorted(
+            self.interpretation.facts_of(pattern.pred), key=atom_order_key
+        ):
+            yield from match_atom(pattern, f)
+
+    def relation(self, pred: str) -> set[tuple]:
+        from .database import from_term
+
+        return {
+            tuple(from_term(t) for t in a.args)
+            for a in self.interpretation.facts_of(pred)
+        }
+
+    def pretty(self) -> str:
+        return self.interpretation.pretty()
+
+    def __len__(self) -> int:
+        return len(self.interpretation)
+
+
+class VersionedModel:
+    """A :class:`MaterializedModel` behind a single-writer / multi-reader
+    snapshot discipline.
+
+    * **One writer at a time.**  :meth:`apply_delta` (and
+      :meth:`replace_program`) serialize on the write lock; each successful
+      call publishes a new :class:`ModelSnapshot` with the next version
+      number by a single attribute store (atomic under the GIL), so readers
+      never observe a half-applied batch.
+    * **Readers never lock.**  :attr:`current` is a plain attribute read;
+      queries run against the frozen snapshot while the writer mutates its
+      copy-on-write working state.
+    * **Version registry.**  The last ``keep_versions`` snapshots stay
+      resolvable through :meth:`at` for time-travel reads; sessions can
+      :meth:`pin` a version to keep it alive past that window.  Asking for
+      anything older raises :class:`RetiredVersionError`.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        database: Optional[Database] = None,
+        builtins: Mapping[str, Builtin] = DEFAULT_BUILTINS,
+        options: Optional[EvalOptions] = None,
+        keep_versions: int = 8,
+    ) -> None:
+        if keep_versions < 1:
+            raise ValueError("keep_versions must be >= 1")
+        self._lock = threading.RLock()
+        self._keep = keep_versions
+        self._materialized = MaterializedModel(
+            program, database, builtins=builtins, options=options
+        )
+        self._pins: dict[int, int] = {}
+        self._snapshots: dict[int, ModelSnapshot] = {}
+        self._version = 0
+        self.current: ModelSnapshot = self._publish(None)
+
+    # -- read side ---------------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """The latest published version number."""
+        return self.current.version
+
+    @property
+    def lock(self) -> threading.RLock:
+        """The write lock (reentrant; for multi-step writer transactions)."""
+        return self._lock
+
+    @property
+    def program(self) -> Program:
+        return self._materialized.program
+
+    @property
+    def options(self) -> EvalOptions:
+        return self._materialized.options
+
+    @property
+    def builtins(self) -> Mapping[str, Builtin]:
+        return self._materialized.builtins
+
+    def at(self, version: int) -> ModelSnapshot:
+        """The snapshot published as ``version``.
+
+        Raises :class:`RetiredVersionError` when that version has been
+        retired (or never existed yet).
+        """
+        snap = self._snapshots.get(version)   # atomic lock-free fast path
+        if snap is None:
+            # Build the error under the lock: enumerating the registry
+            # while the writer retires entries would race.
+            with self._lock:
+                snap = self._snapshots.get(version)
+                if snap is None:
+                    raise RetiredVersionError(
+                        f"version {version} is retired or unknown "
+                        f"(live: {sorted(self._snapshots)})"
+                    )
+        return snap
+
+    def pin(self, version: Optional[int] = None) -> ModelSnapshot:
+        """Resolve and pin a version so it survives retirement."""
+        with self._lock:
+            snap = self.current if version is None else self.at(version)
+            self._pins[snap.version] = self._pins.get(snap.version, 0) + 1
+            return snap
+
+    def release(self, version: int) -> None:
+        """Undo one :meth:`pin`; retires the version if now out of window."""
+        with self._lock:
+            n = self._pins.get(version, 0)
+            if n <= 1:
+                self._pins.pop(version, None)
+            else:
+                self._pins[version] = n - 1
+            self._retire()
+
+    # -- write side --------------------------------------------------------------
+
+    def apply_delta(
+        self, adds: Iterable[Any] = (), dels: Iterable[Any] = ()
+    ) -> ModelSnapshot:
+        """Serialize one maintenance batch and publish the next version.
+
+        Returns the snapshot that includes the batch.  A failed batch
+        (bad fact spec, resource limit) publishes nothing: the previous
+        snapshot stays current and the maintained state is unchanged or
+        fully recomputed by :class:`MaterializedModel`'s own guards.
+        """
+        with self._lock:
+            report = self._materialized.apply_delta(adds=adds, dels=dels)
+            if report.strategy == STRATEGY_NOOP:
+                return self.current
+            return self._publish(report)
+
+    def add(self, *spec: Any) -> ModelSnapshot:
+        return self.apply_delta(adds=[_one_fact(spec)])
+
+    def retract(self, *spec: Any) -> ModelSnapshot:
+        return self.apply_delta(dels=[_one_fact(spec)])
+
+    def replace_program(self, program: Program) -> ModelSnapshot:
+        """Swap the rule program (same database), rebuild, publish."""
+        with self._lock:
+            db = self._materialized.database
+            self._materialized = MaterializedModel(
+                program,
+                db,
+                builtins=self._materialized.builtins,
+                options=self._materialized.options,
+            )
+            return self._publish(self._materialized.last_report)
+
+    @property
+    def exec_stats(self) -> ExecStats:
+        """The writer's aggregated executor counters (maintenance sweeps).
+
+        Only the serialized writer mutates this; read a merged copy via
+        the service layer when reader threads are active.
+        """
+        return self._materialized.exec_stats
+
+    @property
+    def last_report(self) -> Optional[MaintenanceReport]:
+        return self._materialized.last_report
+
+    # -- internals ---------------------------------------------------------------
+
+    def _publish(self, report: Optional[MaintenanceReport]) -> ModelSnapshot:
+        with self._lock:
+            self._version += 1
+            snap = ModelSnapshot(
+                version=self._version,
+                interpretation=self._materialized.interpretation.snapshot(),
+                database=self._materialized.database.snapshot(),
+                report=report,
+            )
+            self._snapshots[snap.version] = snap
+            self.current = snap  # atomic publication point
+            self._retire()
+            return snap
+
+    def _retire(self) -> None:
+        horizon = self._version - self._keep + 1
+        for v in [v for v in self._snapshots if v < horizon]:
+            if v not in self._pins:
+                del self._snapshots[v]

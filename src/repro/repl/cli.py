@@ -5,19 +5,27 @@ Usage::
     lps run PROGRAM.lps            evaluate and print the model
     lps query PROGRAM.lps 'p(X)'   evaluate, then print query bindings
     lps repl [PROGRAM.lps]         interactive loop
+    lps serve [PROGRAM.lps]        line-protocol TCP server (--host/--port)
 
-The REPL is a **long-lived session** over an incrementally maintained
-model (:class:`~repro.engine.maintenance.MaterializedModel`):
+The REPL is a **thin client of the query-service session API**
+(:mod:`repro.server`): it owns one
+:class:`~repro.server.service.QueryService` with one local
+:class:`~repro.server.session.Session`, the same objects the TCP server
+multiplexes across many concurrent clients — so interactive behaviour and
+served behaviour cannot drift apart.
 
-* clauses terminated by ``.`` extend the program (the model is rebuilt),
+* clauses terminated by ``.`` extend the program (the model is rebuilt
+  over the surviving fact store),
 * ``+fact.`` asserts and ``-fact.`` retracts a ground fact — the model is
   *maintained*, not recomputed, so churning facts against a large program
   stays cheap,
-* ``?- atom.`` queries the current model, ``:model`` prints it,
+* ``?- goal.`` queries the current snapshot (conjunctive goals are
+  planned and executed like rule bodies), ``:model`` prints the model,
 * ``:plan rule.`` pretty-prints the relational-algebra plan the engine
   compiles the rule body to (or why it stays on the tuple path),
 * ``:stats`` shows what the last delta did plus the set-at-a-time
-  executor's counters (batches, rows in/out per operator), ``:quit`` exits.
+  executor's counters (batches, rows in/out per operator), ``:quit``
+  exits.
 """
 
 from __future__ import annotations
@@ -26,14 +34,12 @@ import argparse
 import sys
 from typing import Optional
 
-from ..core.clauses import GroupingClause, LPSClause
-from ..core.errors import EvaluationError, LPSError
-from ..engine.database import Database
+from ..core.errors import LPSError
 from ..engine.evaluation import Evaluator, Model
-from ..engine.maintenance import MaintenanceReport, MaterializedModel
-from ..engine.planner import compile_grouping, compile_rule
 from ..engine.setops import with_set_builtins
 from ..lang import parse_atom, parse_program
+from ..server import QueryService
+from ..server.session import Session as ServiceSession
 
 
 def _evaluate(source: str) -> Model:
@@ -72,88 +78,73 @@ def cmd_query(path: str, query: str) -> int:
 
 
 class Session:
-    """A REPL session: program clauses plus a dynamic fact store.
+    """The REPL's client state: one service, one session.
 
-    The materialized model is built lazily and kept across ``+``/``-``
-    fact commands via incremental maintenance; adding a *clause* changes
-    the program and forces a rebuild (over the surviving fact store).
+    A thin facade over :class:`~repro.server.session.Session` keeping the
+    REPL's historical surface (``add_clause`` / ``assert_fact`` /
+    ``retract_fact`` / ``plan_text`` / ``stats_text``); everything
+    semantic happens in the service layer.
     """
 
     def __init__(self, source: str = "") -> None:
-        self.source_lines: list[str] = [source] if source else []
-        self.database = Database()
-        self._materialized: Optional[MaterializedModel] = None
+        self._service = QueryService(source if source.strip() else None)
+        self._session: ServiceSession = self._service.open_session()
 
     @property
-    def materialized(self) -> MaterializedModel:
-        if self._materialized is None:
-            program = parse_program("\n".join(self.source_lines))
-            self._materialized = MaterializedModel(
-                program, self.database, builtins=with_set_builtins()
-            )
-        return self._materialized
+    def service(self) -> QueryService:
+        return self._service
 
     @property
-    def model(self) -> Model:
-        return self.materialized.model
+    def model(self):
+        """The current published snapshot (supports query/pretty)."""
+        return self._session.snapshot()
 
     def add_clause(self, line: str) -> None:
-        parse_program("\n".join(self.source_lines + [line]))  # validate
-        self.source_lines.append(line)
-        self._materialized = None  # program changed: rebuild lazily
+        self._session.add_clause(line)
 
-    def _parse_fact(self, text: str):
-        a = parse_atom(text.strip().rstrip("."))
-        if not a.is_ground():
-            raise EvaluationError(f"fact {a} is not ground")
-        return a
+    def assert_fact(self, text: str):
+        self._session.assert_fact(text)
+        return self._service.model.last_report
 
-    def assert_fact(self, text: str) -> MaintenanceReport:
-        return self.materialized.apply_delta(adds=[self._parse_fact(text)])
-
-    def retract_fact(self, text: str) -> MaintenanceReport:
-        return self.materialized.apply_delta(dels=[self._parse_fact(text)])
+    def retract_fact(self, text: str):
+        self._session.retract_fact(text)
+        return self._service.model.last_report
 
     def plan_text(self, text: str) -> str:
-        """The compiled plan of one rule (or grouping clause), pretty-printed.
+        return self._session.plan_text(text)
 
-        The clause is parsed standalone and compiled against the same
-        builtin registry the session's engine runs with (the REPL always
-        evaluates with ``with_set_builtins()``); it is *not* added to the
-        program.
-        """
-        program = parse_program(text)
-        if not program.clauses:
-            raise EvaluationError("no clause to plan")
-        builtins = with_set_builtins()  # == the registry `materialized` uses
-        chunks = []
-        # Sugar like positive-formula bodies desugars into several clauses
-        # (Theorem 6); show the plan of each one.
-        for clause in program.clauses:
-            if isinstance(clause, GroupingClause):
-                cp = compile_grouping(clause, builtins)
-            elif isinstance(clause, LPSClause):
-                cp = compile_rule(clause, builtins)
-            else:  # pragma: no cover - parser produces only the two forms
-                raise EvaluationError(f"cannot plan {clause!r}")
-            header = f"-- {clause}"
-            if not cp.is_set:
-                chunks.append(f"{header}\ntuple-mode: {cp.reason}")
+    def print_answers(self, goal: str) -> None:
+        """Answer a (possibly conjunctive) goal through the session's
+        parse → plan → execute path, REPL-formatted."""
+        result = self._session.query(goal)
+        if not result.rows:
+            print("false")
+            return
+        for row in result.rows:
+            if not row:
+                print("true")
             else:
-                chunks.append(f"{header}\n{cp.root.pretty()}")
-        return "\n\n".join(chunks)
+                print(", ".join(
+                    f"{v} = {t}" for v, t in zip(result.vars, row)
+                ))
 
     def stats_text(self) -> str:
         """The ``:stats`` payload: last-delta summary + executor counters."""
-        report = self.materialized.last_report
-        if report is None:
+        data = self._session.stats_data()
+        last = data["last_delta"]
+        if last is None:
             lines = ["no deltas applied yet"]
         else:
             lines = [
-                f"last delta: strategy={report.strategy} "
-                f"+{report.atoms_added}/-{report.atoms_removed} model atoms"
+                f"last delta: strategy={last['strategy']} "
+                f"+{last['atoms_added']}/-{last['atoms_removed']} "
+                "model atoms"
             ]
-        lines.append(self.materialized.exec_stats.pretty())
+        lines.append(
+            f"session: {data['queries']} queries, {data['answers']} "
+            f"answers, {data['writes']} writes, {data['errors']} errors"
+        )
+        lines.append(data["executor"])
         return "\n".join(lines)
 
 
@@ -189,12 +180,39 @@ def cmd_repl(path: Optional[str]) -> int:
                 report = session.retract_fact(line[1:])
                 print("removed." if report.net_removed else "no change.")
             elif line.startswith("?-"):
-                query = line[2:].strip().rstrip(".")
-                _print_answers(session.model, parse_atom(query))
+                session.print_answers(line[2:].strip().rstrip("."))
             else:
                 session.add_clause(line)
         except LPSError as exc:
             print(f"error: {exc}", file=sys.stderr)
+
+
+def cmd_serve(path: Optional[str], host: str, port: int) -> int:
+    """Serve the line protocol over TCP until interrupted."""
+    import asyncio
+
+    from ..server.protocol import serve
+
+    source = ""
+    if path:
+        with open(path) as f:
+            source = f.read()
+    service = QueryService(source if source.strip() else None)
+
+    async def main() -> None:
+        server = await serve(service, host, port)
+        addr = server.sockets[0].getsockname()
+        print(f"lps server listening on {addr[0]}:{addr[1]}")
+        async with server:
+            await server.serve_forever()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.shutdown()
+    return 0
 
 
 def main(argv: Optional[list[str]] = None) -> int:
@@ -207,12 +225,18 @@ def main(argv: Optional[list[str]] = None) -> int:
     p_query.add_argument("query")
     p_repl = sub.add_parser("repl", help="interactive loop")
     p_repl.add_argument("path", nargs="?")
+    p_serve = sub.add_parser("serve", help="line-protocol TCP server")
+    p_serve.add_argument("path", nargs="?")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=4712)
     args = parser.parse_args(argv)
     try:
         if args.command == "run":
             return cmd_run(args.path)
         if args.command == "query":
             return cmd_query(args.path, args.query)
+        if args.command == "serve":
+            return cmd_serve(args.path, args.host, args.port)
         return cmd_repl(args.path)
     except LPSError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -88,23 +88,82 @@ class Interpretation:
     solver's join steps and the top-down prover's fact lookups stay
     O(candidates) instead of O(relation) as the relation grows (see
     DESIGN.md, "Performance architecture").
+
+    **Snapshots.**  :meth:`snapshot` returns an immutable view sharing the
+    per-predicate fact dicts and their indexes with this interpretation —
+    O(#predicates), not O(#facts).  The writable original switches to
+    copy-on-write: the first mutation of a predicate after a snapshot
+    copies that predicate's fact dict (and drops its now-shared indexes,
+    which rebuild lazily), so every published snapshot stays bit-identical
+    to the model at its version forever.  Frozen snapshots refuse all
+    mutation; their lazy index builds are pure caches over immutable
+    buckets and are safe to race between CPython reader threads (see
+    DESIGN.md, "Service layer").
     """
 
-    __slots__ = ("_atoms", "_by_pred", "_indexes")
+    __slots__ = ("_by_pred", "_indexes", "_size", "_frozen", "_shared")
 
     def __init__(self, atoms: Iterable[Atom] = ()) -> None:
-        self._atoms: set[Atom] = set()
         # Per-predicate facts as insertion-ordered dicts (value always None):
         # enumeration order is then the order facts were added, independent
         # of the process hash seed — the top-down prover relies on this for
-        # deterministic answer order.
+        # deterministic answer order.  There is deliberately no global atom
+        # set: per-predicate dicts are the single source of truth, which is
+        # what makes per-predicate copy-on-write snapshots sound.
         self._by_pred: dict[str, dict[Atom, None]] = {}
         # pred -> positions -> key tuple -> facts
         self._indexes: dict[
             str, dict[tuple[int, ...], dict[tuple, dict[Atom, None]]]
         ] = {}
+        self._size = 0
+        self._frozen = False
+        #: Predicates whose bucket/indexes are shared with a snapshot.
+        self._shared: set[str] = set()
         for a in atoms:
             self.add(a)
+
+    # -- snapshots / copy-on-write ------------------------------------------------
+
+    @property
+    def frozen(self) -> bool:
+        """Whether this interpretation is an immutable snapshot."""
+        return self._frozen
+
+    def snapshot(self) -> "Interpretation":
+        """An immutable O(#predicates) snapshot of the current facts.
+
+        The snapshot shares fact dicts and index structures with this
+        interpretation; subsequent mutations here copy-on-write, so the
+        snapshot never changes.  See the class docstring.
+        """
+        snap = Interpretation.__new__(Interpretation)
+        snap._by_pred = dict(self._by_pred)
+        # Per-predicate signature maps are copied (either side may lazily
+        # add new signatures); the index dicts themselves are shared.
+        snap._indexes = {p: dict(per) for p, per in self._indexes.items()}
+        snap._size = self._size
+        snap._frozen = True
+        snap._shared = set()
+        if not self._frozen:
+            self._shared = set(self._by_pred)
+        return snap
+
+    def _mutable_bucket(self, pred: str) -> Optional[dict[Atom, None]]:
+        """The predicate's fact dict, un-shared and safe to mutate."""
+        if self._frozen:
+            raise EvaluationError(
+                "interpretation is a frozen snapshot and cannot be mutated"
+            )
+        shared = self._shared
+        if shared and pred in shared:
+            shared.discard(pred)
+            bucket = self._by_pred.get(pred)
+            if bucket is not None:
+                bucket = self._by_pred[pred] = dict(bucket)
+            # The shared indexes now belong to the snapshot; rebuild lazily.
+            self._indexes.pop(pred, None)
+            return bucket
+        return self._by_pred.get(pred)
 
     # -- mutation ----------------------------------------------------------------
 
@@ -117,13 +176,14 @@ class Interpretation:
             )
         if not a.is_ground():
             raise EvaluationError(f"cannot assert non-ground atom {a}")
-        if a in self._atoms:
-            return False
-        self._atoms.add(a)
         bucket = self._by_pred.get(a.pred)
+        if bucket is not None and a in bucket:
+            return False
+        bucket = self._mutable_bucket(a.pred)
         if bucket is None:
             bucket = self._by_pred[a.pred] = {}
         bucket[a] = None
+        self._size += 1
         per = self._indexes.get(a.pred)
         if per:
             for positions, index in per.items():
@@ -142,12 +202,12 @@ class Interpretation:
         :meth:`candidate_count` agreeing with a fresh linear scan (the
         incremental-maintenance subsystem depends on this invariant).
         """
-        if a not in self._atoms:
-            return False
-        self._atoms.discard(a)
         bucket = self._by_pred.get(a.pred)
-        if bucket is not None:
-            bucket.pop(a, None)
+        if bucket is None or a not in bucket:
+            return False
+        bucket = self._mutable_bucket(a.pred)
+        bucket.pop(a, None)
+        self._size -= 1
         per = self._indexes.get(a.pred)
         if per:
             for positions, index in per.items():
@@ -160,8 +220,8 @@ class Interpretation:
 
     def copy(self) -> "Interpretation":
         out = Interpretation()
-        out._atoms = set(self._atoms)
         out._by_pred = {p: dict(s) for p, s in self._by_pred.items()}
+        out._size = self._size
         # Indexes are rebuilt lazily on the copy.
         return out
 
@@ -169,7 +229,7 @@ class Interpretation:
 
     def holds(self, a: Atom) -> bool:
         """Whether a ground non-special atom is true in this interpretation."""
-        return a in self._atoms
+        return a in self._by_pred.get(a.pred, _EMPTY_FACTS)
 
     def by_pred(self, pred: str) -> frozenset[Atom]:
         return frozenset(self._by_pred.get(pred, ()))
@@ -294,43 +354,47 @@ class Interpretation:
         return {p for p, s in self._by_pred.items() if s}
 
     def __contains__(self, a: Atom) -> bool:
-        return a in self._atoms
+        return a in self._by_pred.get(a.pred, _EMPTY_FACTS)
 
     def __iter__(self) -> Iterator[Atom]:
-        return iter(self._atoms)
+        for bucket in self._by_pred.values():
+            yield from bucket
 
     def __len__(self) -> int:
-        return len(self._atoms)
+        return self._size
 
     def __eq__(self, other: object) -> bool:
         if isinstance(other, Interpretation):
-            return self._atoms == other._atoms
+            if self._size != other._size:
+                return False
+            return all(a in other for a in self)
         return NotImplemented
 
     def __hash__(self) -> int:  # pragma: no cover - rarely needed
-        return hash(frozenset(self._atoms))
+        return hash(frozenset(self))
 
     def __le__(self, other: "Interpretation") -> bool:
-        return self._atoms <= other._atoms
+        return all(a in other for a in self)
 
     def __or__(self, other: "Interpretation") -> "Interpretation":
-        return Interpretation(itertools.chain(self._atoms, other._atoms))
+        return Interpretation(itertools.chain(self, other))
 
     def __and__(self, other: "Interpretation") -> "Interpretation":
-        return Interpretation(a for a in self._atoms if a in other)
+        return Interpretation(a for a in self if a in other)
 
     def atoms(self) -> frozenset[Atom]:
-        return frozenset(self._atoms)
+        return frozenset(self)
 
     def sorted_atoms(self) -> list[Atom]:
         """Atoms in a deterministic order for printing and diffing."""
-        return sorted(self._atoms, key=atom_order_key)
+        return sorted(self, key=atom_order_key)
 
     def pretty(self) -> str:
         return "\n".join(f"{a}." for a in self.sorted_atoms())
 
     def __repr__(self) -> str:
-        return f"Interpretation({len(self._atoms)} atoms)"
+        frozen = " frozen" if self._frozen else ""
+        return f"Interpretation({self._size} atoms{frozen})"
 
     # -- model checking -------------------------------------------------------------
 

@@ -1,0 +1,197 @@
+"""Line-oriented TCP protocol: the REPL grammar over asyncio streams.
+
+Wire format — deliberately minimal so any language can speak it:
+
+* **Request:** one UTF-8 line, exactly what you would type at the REPL
+  (``?- path(a, X).``, ``+edge(a, b).``, ``-edge(a, b).``, ``:stats``,
+  ``:begin`` / ``:commit`` / ``:abort``, ``:at 3``, ``:version``, or a
+  program clause).  ``:quit`` ends the connection.
+* **Response:** one JSON line (:meth:`Response.to_json`): ``{"ok": …,
+  "kind": …, "data": …, "version": …, "error": …, "code": …}``.
+
+Each connection owns one :class:`~repro.server.session.Session`; request
+handling is pushed onto the service's thread pool so a long query never
+stalls the event loop, while the session itself guarantees snapshot
+isolation.  A dropped connection closes the session — pending batches are
+discarded, pinned versions released, and the shared model is untouched.
+
+:func:`run_in_thread` hosts the asyncio server on a daemon thread and
+returns the bound address — how the tests, the benchmark and the demo
+drive a real socket server in-process.  :class:`LineClient` is a minimal
+blocking client for those callers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import threading
+from typing import Optional
+
+from .service import QueryService
+from .session import Response
+
+#: Requests longer than this are refused (also bounds the reader buffer).
+MAX_LINE_BYTES = 1 << 20
+
+
+async def handle_connection(
+    service: QueryService,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    """Serve one client connection: a session for the connection's life."""
+    session = service.open_session()
+    loop = asyncio.get_running_loop()
+    try:
+        while True:
+            try:
+                raw = await reader.readline()
+            except (asyncio.LimitOverrunError, ValueError):
+                payload = Response.failure(
+                    "line_too_long",
+                    f"request exceeds {MAX_LINE_BYTES} bytes",
+                )
+                writer.write(payload.to_json().encode() + b"\n")
+                await writer.drain()
+                break
+            if not raw:
+                break                      # EOF: client went away
+            line = raw.decode("utf-8", errors="replace").strip()
+            if line in (":quit", ":q"):
+                writer.write(
+                    Response(ok=True, kind="bye").to_json().encode() + b"\n"
+                )
+                await writer.drain()
+                break
+            # Session work runs on the service pool: parsing and query
+            # evaluation are CPU-bound and must not block the event loop.
+            response = await loop.run_in_executor(
+                service._pool, session.execute, line
+            )
+            writer.write(response.to_json().encode() + b"\n")
+            await writer.drain()
+    except ConnectionError:
+        pass                               # mid-session disconnect
+    finally:
+        session.close()                    # discards pending, releases pins
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except ConnectionError:
+            pass
+
+
+async def serve(
+    service: QueryService, host: str = "127.0.0.1", port: int = 0
+) -> asyncio.base_events.Server:
+    """Start the asyncio server; ``port=0`` binds an ephemeral port."""
+    return await asyncio.start_server(
+        lambda r, w: handle_connection(service, r, w),
+        host,
+        port,
+        limit=MAX_LINE_BYTES,
+    )
+
+
+class ServerHandle:
+    """A server running on a background thread: address + clean shutdown."""
+
+    def __init__(self, host: str, port: int, stop) -> None:
+        self.host = host
+        self.port = port
+        self._stop = stop
+
+    def stop(self) -> None:
+        self._stop()
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def run_in_thread(
+    service: QueryService, host: str = "127.0.0.1", port: int = 0
+) -> ServerHandle:
+    """Host the protocol server on a daemon thread; returns its address."""
+    started = threading.Event()
+    box: dict = {}
+
+    def runner() -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+
+        async def main() -> None:
+            server = await serve(service, host, port)
+            box["addr"] = server.sockets[0].getsockname()[:2]
+            box["loop"] = loop
+            box["server"] = server
+            started.set()
+            async with server:
+                await server.serve_forever()
+
+        try:
+            loop.run_until_complete(main())
+        except asyncio.CancelledError:
+            pass
+        finally:
+            loop.close()
+
+    thread = threading.Thread(
+        target=runner, name="lps-server", daemon=True
+    )
+    thread.start()
+    if not started.wait(timeout=10):
+        raise RuntimeError("server failed to start within 10s")
+    bound_host, bound_port = box["addr"]
+    loop: asyncio.AbstractEventLoop = box["loop"]
+
+    def stop() -> None:
+        def _shutdown() -> None:
+            box["server"].close()
+            for task in asyncio.all_tasks(loop):
+                task.cancel()
+
+        if loop.is_running():
+            loop.call_soon_threadsafe(_shutdown)
+        thread.join(timeout=10)
+
+    return ServerHandle(bound_host, bound_port, stop)
+
+
+class LineClient:
+    """A minimal blocking client for the line protocol (tests/benchmarks).
+
+    Not thread-safe: give each client thread its own connection, exactly
+    as a real deployment would.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+
+    def send(self, line: str) -> Response:
+        self._file.write(line.encode() + b"\n")
+        self._file.flush()
+        raw = self._file.readline()
+        if not raw:
+            raise ConnectionError("server closed the connection")
+        return Response.from_json(raw.decode())
+
+    def query(self, goal: str) -> Response:
+        return self.send(f"?- {goal.rstrip('.')}.")
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "LineClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

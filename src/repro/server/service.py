@@ -1,0 +1,167 @@
+"""The concurrent query service: many sessions, one maintained model.
+
+:class:`QueryService` is the process-level front end the TCP protocol and
+the REPL both sit on:
+
+* it owns the :class:`~repro.engine.maintenance.VersionedModel` (and with
+  it the single write lock and the snapshot registry),
+* it hands out :class:`~repro.server.session.Session` objects — one per
+  client — and runs their requests on a bounded thread pool
+  (:meth:`submit`), or synchronously on the caller's thread
+  (:meth:`execute`),
+* it owns the shared *program source*: ``extend_program`` re-parses the
+  accumulated source (exactly the REPL's validation discipline), rebuilds
+  the model under the write lock, and publishes the next version,
+* it merges per-session statistics on read (``:stats``), so counters are
+  exact under parallel queries without any shared mutable counter on the
+  read path.
+
+Reads scale with snapshot isolation: a query pins a published snapshot
+and never takes the write lock, so readers proceed while the writer's
+maintenance sweep mutates its private copy-on-write state.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Any, Iterable, Mapping, Optional, Union
+
+from ..core.program import Program
+from ..engine.builtins import Builtin
+from ..engine.database import Database
+from ..engine.evaluation import EvalOptions
+from ..engine.maintenance import ModelSnapshot, VersionedModel
+from ..engine.setops import with_set_builtins
+from ..lang import parse_program
+from .session import Response, Session, SessionStats
+
+
+class QueryService:
+    """Multiplex concurrent sessions over one versioned model."""
+
+    def __init__(
+        self,
+        program: Union[Program, str, None] = None,
+        database: Optional[Database] = None,
+        builtins: Optional[Mapping[str, Builtin]] = None,
+        options: Optional[EvalOptions] = None,
+        max_workers: int = 8,
+        keep_versions: int = 8,
+        max_batch: int = 10_000,
+    ) -> None:
+        if isinstance(program, Program):
+            self._source_lines: list[str] = [
+                f"{c}" for c in program.clauses
+            ]
+            parsed = program
+        else:
+            self._source_lines = [program] if program else []
+            parsed = parse_program("\n".join(self._source_lines))
+        self.max_batch = max_batch
+        self.model = VersionedModel(
+            parsed,
+            database,
+            builtins=builtins if builtins is not None
+            else with_set_builtins(),
+            options=options,
+            keep_versions=keep_versions,
+        )
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="lps-query"
+        )
+        self._sessions: dict[int, Session] = {}
+        self._sessions_lock = threading.Lock()
+        #: Stats of already-closed sessions (so totals never regress).
+        self._retired_stats = SessionStats()
+        self._closed = False
+
+    # -- sessions ----------------------------------------------------------------
+
+    def open_session(self) -> Session:
+        if self._closed:
+            raise RuntimeError("service is shut down")
+        session = Session(
+            self.model, max_batch=self.max_batch, service=self
+        )
+        with self._sessions_lock:
+            self._sessions[session.session_id] = session
+        return session
+
+    def forget_session(self, session: Session) -> None:
+        """Called by ``Session.close``: fold its stats into the retired
+        aggregate and stop tracking it."""
+        with self._sessions_lock:
+            if self._sessions.pop(session.session_id, None) is not None:
+                self._retired_stats.merge(session.stats_snapshot())
+
+    def session_count(self) -> int:
+        with self._sessions_lock:
+            return len(self._sessions)
+
+    # -- request execution -------------------------------------------------------
+
+    def execute(self, session: Session, line: str) -> Response:
+        """Run one request synchronously on the calling thread."""
+        return session.execute(line)
+
+    def submit(self, session: Session, line: str) -> "Future[Response]":
+        """Run one request on the service thread pool."""
+        return self._pool.submit(session.execute, line)
+
+    # -- writes / program --------------------------------------------------------
+
+    def apply_delta(
+        self, adds: Iterable[Any] = (), dels: Iterable[Any] = ()
+    ) -> ModelSnapshot:
+        """Direct writer entry (the churn generator and benchmarks)."""
+        return self.model.apply_delta(adds=adds, dels=dels)
+
+    def extend_program(self, text: str) -> ModelSnapshot:
+        """Append clause source, revalidate the whole program, rebuild.
+
+        Parsing the joined source *before* touching the model means a bad
+        clause is rejected with a parse error and nothing changes.
+        """
+        with self.model.lock:
+            program = parse_program(
+                "\n".join([*self._source_lines, text])
+            )
+            self._source_lines.append(text)
+            return self.model.replace_program(program)
+
+    # -- stats -------------------------------------------------------------------
+
+    def merged_session_stats(self) -> SessionStats:
+        """Exact service-wide totals: live sessions + retired aggregate."""
+        out = SessionStats()
+        with self._sessions_lock:
+            live = list(self._sessions.values())
+            out.merge(self._retired_stats)
+        for session in live:
+            out.merge(session.stats_snapshot())
+        return out
+
+    def stats_data(self) -> dict:
+        """The service-wide ``:stats`` payload (see ``Session.stats_data``)."""
+        from .session import stats_payload
+
+        return stats_payload(self.model, self.merged_session_stats())
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def shutdown(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        with self._sessions_lock:
+            live = list(self._sessions.values())
+        for session in live:
+            session.close()
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

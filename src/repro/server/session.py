@@ -1,0 +1,638 @@
+"""Sessions: snapshot-isolated query/update units over a shared model.
+
+A :class:`Session` is the unit of client state in the query service.  Each
+request executes the REPL grammar (``?- query.``, ``+fact.``, ``-fact.``,
+``:commands``) against an **immutable snapshot** pinned per request, so a
+session never observes a half-applied delta no matter how many other
+sessions are writing:
+
+* **Reads** resolve a :class:`~repro.engine.maintenance.ModelSnapshot` —
+  the latest published version by default, or a fixed one after ``:at N``
+  (time travel) — then parse, plan and execute the query against it.
+  Conjunctive queries compile through the same planner/executor as rule
+  bodies (set-at-a-time when the plan applies, tuple-at-a-time solver
+  otherwise, with active-domain fallback disabled: queries must be
+  range-restricted).
+* **Writes** go through the single serialized writer
+  (:meth:`VersionedModel.apply_delta`).  By default every ``+``/``-``
+  commits immediately; ``:begin`` opens an explicit batch that ``:commit``
+  applies atomically (one maintenance sweep, one published version) and
+  ``:abort`` discards.  **Read-your-writes:** a query on a session with a
+  pending batch flushes the batch first, so the session's own reads always
+  reflect its own writes; other sessions only ever see published versions.
+* **Stats are per-session.**  Every query runs with fresh
+  :class:`SolverStats`/:class:`ExecStats` merged into the session's
+  totals under the session lock; the service merges sessions on read.
+  Nothing shared is mutated on the read path, so totals stay exact under
+  a thread pool (see ``tests/test_concurrency.py``).
+
+Every error — parse failure, retired version, oversized batch, closed
+session — returns a structured :class:`Response` with a stable ``code``
+and leaves the shared model untouched.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional
+
+from ..core.atoms import Atom
+from ..core.clauses import GroupingClause, LPSClause
+from ..core.errors import EvaluationError, LPSError, SafetyError
+from ..core.substitution import Subst
+from ..core.terms import Term, Var, order_key
+from ..engine.evaluation import (
+    ActiveDomain,
+    SolverStats,
+    _CompiledRule,
+)
+from ..engine.executor import Executor, PlanInapplicable
+from ..engine.ir import ExecStats
+from ..engine.maintenance import (
+    MaintenanceReport,
+    ModelSnapshot,
+    RetiredVersionError,
+    VersionedModel,
+)
+from ..engine.planner import compile_grouping, compile_rule
+from ..lang import parse_atom, parse_program
+
+#: Structured error codes (stable protocol surface; tests key on these).
+E_PARSE = "parse_error"
+E_RETIRED = "retired_version"
+E_BATCH = "batch_too_large"
+E_EVAL = "evaluation_error"
+E_UNSAFE = "unsafe_query"
+E_CLOSED = "session_closed"
+E_COMMAND = "unknown_command"
+
+#: Head predicate for compiled query clauses (identifiers must start
+#: lower-case; the atom never enters any model, so collisions are inert).
+QUERY_PRED = "query__"
+
+
+@dataclass
+class Response:
+    """One structured reply: what a request did, or why it could not.
+
+    ``kind`` names the payload shape (``answers``, ``write``, ``stats``,
+    ``model``, ``plan``, ``version``, ``ok``, ``error``); ``version`` is
+    the snapshot version the request observed or produced, when there is
+    one.  Serialization is a single JSON line, the protocol's wire format.
+    """
+
+    ok: bool
+    kind: str
+    data: Any = None
+    version: Optional[int] = None
+    error: Optional[str] = None
+    code: Optional[str] = None
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "ok": self.ok,
+                "kind": self.kind,
+                "data": self.data,
+                "version": self.version,
+                "error": self.error,
+                "code": self.code,
+            },
+            sort_keys=True,
+        )
+
+    @staticmethod
+    def from_json(line: str) -> "Response":
+        d = json.loads(line)
+        return Response(
+            ok=d["ok"],
+            kind=d["kind"],
+            data=d.get("data"),
+            version=d.get("version"),
+            error=d.get("error"),
+            code=d.get("code"),
+        )
+
+    @staticmethod
+    def failure(code: str, message: str) -> "Response":
+        return Response(
+            ok=False, kind="error", error=message, code=code
+        )
+
+
+@dataclass
+class QueryResult:
+    """Term-level query answers: a variable schema plus sorted rows."""
+
+    vars: tuple[str, ...]
+    rows: list[tuple[Term, ...]]
+    version: int
+
+    @property
+    def truth(self) -> bool:
+        """For ground queries: whether any answer exists."""
+        return bool(self.rows)
+
+    def bindings(self) -> list[dict[str, str]]:
+        """JSON-safe answers: one ``{var: rendered term}`` dict per row."""
+        return [
+            {v: str(t) for v, t in zip(self.vars, row)} for row in self.rows
+        ]
+
+
+@dataclass
+class SessionStats:
+    """Per-session counters, merged service-wide on ``:stats`` reads."""
+
+    queries: int = 0
+    answers: int = 0
+    writes: int = 0
+    errors: int = 0
+    solver: SolverStats = field(default_factory=SolverStats)
+    execs: ExecStats = field(default_factory=ExecStats)
+
+    def merge(self, other: "SessionStats") -> None:
+        self.queries += other.queries
+        self.answers += other.answers
+        self.writes += other.writes
+        self.errors += other.errors
+        self.solver.merge(other.solver)
+        self.execs.merge(other.execs)
+
+
+class Session:
+    """One client's view of the shared :class:`VersionedModel`.
+
+    Sessions are *not* shared between threads: the service hands each
+    connection its own.  The session lock only guards the session's own
+    pending batch and stats against the service's merge-on-read, never the
+    shared model — reads are wait-free with respect to the writer.
+    """
+
+    _ids = itertools.count(1)
+
+    def __init__(
+        self,
+        model: VersionedModel,
+        max_batch: int = 10_000,
+        service: Optional["QueryService"] = None,
+    ) -> None:
+        self.session_id = next(Session._ids)
+        self._model = model
+        self._max_batch = max_batch
+        self._service = service
+        self._lock = threading.Lock()
+        self._closed = False
+        #: None = immediate writes; a list = explicit batch (``:begin``).
+        self._pending: Optional[list[tuple[bool, Atom]]] = None
+        #: None = follow the latest version; an int = pinned ``:at N``.
+        self._read_version: Optional[int] = None
+        self._pinned: list[int] = []
+        self.stats = SessionStats()
+        #: Per-rule compilation cache for repeated query shapes.
+        self._query_cache: dict[tuple, _CompiledRule] = {}
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Tear the session down; pending writes are **discarded**.
+
+        A mid-batch disconnect must not poison the shared model: nothing
+        staged is applied, pinned versions are released, and the session
+        refuses further requests with ``session_closed``.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._pending = None
+        for v in self._pinned:
+            self._model.release(v)
+        self._pinned.clear()
+        if self._service is not None:
+            self._service.forget_session(self)
+
+    # -- snapshot resolution -----------------------------------------------------
+
+    def snapshot(self) -> ModelSnapshot:
+        """The snapshot this session's next read will observe."""
+        if self._read_version is not None:
+            return self._model.at(self._read_version)
+        return self._model.current
+
+    def pin(self, version: Optional[int] = None) -> ModelSnapshot:
+        """Pin a version (default: latest) and read from it until
+        :meth:`unpin`; pinned versions survive registry retirement."""
+        snap = self._model.pin(version)
+        self._pinned.append(snap.version)
+        self._read_version = snap.version
+        return snap
+
+    def unpin(self) -> None:
+        """Return to following the latest published version."""
+        self._read_version = None
+        for v in self._pinned:
+            self._model.release(v)
+        self._pinned.clear()
+
+    # -- queries -----------------------------------------------------------------
+
+    def _compiled_query(self, text: str) -> _CompiledRule:
+        """Parse a (possibly conjunctive) query into a compiled rule.
+
+        The text is wrapped as the body of a ``__query__`` clause; the
+        answer head collects the body's free variables in a deterministic
+        order, so answers are full bindings exactly like rule derivation.
+        """
+        key = (text, self._model.options.plan_joins)
+        cached = self._query_cache.get(key)
+        if cached is not None:
+            return cached
+        program = parse_program(f"{QUERY_PRED} :- {text}.")
+        clauses = [c for c in program.clauses if isinstance(c, LPSClause)]
+        if len(clauses) != 1 or any(
+            isinstance(c, GroupingClause) for c in program.clauses
+        ):
+            raise EvaluationError(
+                "a query must be a single (conjunctive) goal"
+            )
+        parsed = clauses[0]
+        out_vars = tuple(sorted(
+            parsed.free_vars(), key=lambda v: (v.var_sort, v.name)
+        ))
+        rule = _CompiledRule(
+            LPSClause(
+                head=Atom(QUERY_PRED, out_vars),
+                quantifiers=parsed.quantifiers,
+                body=parsed.body,
+            ),
+            self._model.builtins,
+        )
+        self._query_cache[key] = rule
+        return rule
+
+    def query(self, text: str) -> QueryResult:
+        """Answer a query against this session's pinned snapshot.
+
+        Pending batched writes are flushed first (read-your-writes) unless
+        the session is pinned to an explicit historical version.
+        """
+        self._check_open()
+        if self._read_version is None:
+            self.flush()
+        rule = self._compiled_query(text)
+        snap = self.snapshot()
+        stats = SessionStats()
+        rows = self._execute_rule(rule, snap, stats)
+        rows.sort(key=lambda row: tuple(order_key(t) for t in row))
+        stats.queries += 1
+        stats.answers += len(rows)
+        with self._lock:
+            self.stats.merge(stats)
+        return QueryResult(
+            vars=tuple(v.name for v in rule.head.args),
+            rows=rows,
+            version=snap.version,
+        )
+
+    def _execute_rule(
+        self, rule: _CompiledRule, snap: ModelSnapshot, stats: SessionStats
+    ) -> list[tuple[Term, ...]]:
+        """Plan → execute: set-at-a-time when the compiled plan applies,
+        else the tuple solver with fallback disabled (range-restricted
+        queries only — a query must not enumerate the active domain)."""
+        options = self._model.options
+        interp = snap.interpretation
+        rows: Optional[list[tuple[Term, ...]]] = None
+        if options.compile_plans:
+            executor = Executor(
+                interp,
+                self._model.builtins,
+                use_indexes=options.use_indexes,
+                stats=stats.execs,
+            )
+            heads = rule.derive_via_plan(executor, options.plan_joins)
+            if heads is not None:
+                rows = [h.args for h in dict.fromkeys(heads)]
+        if rows is None:
+            from ..engine.evaluation import Solver
+
+            solver = Solver(
+                interp,
+                ActiveDomain(),
+                self._model.builtins,
+                allow_fallback=False,
+                stats=stats.solver,
+                use_indexes=options.use_indexes,
+                plan_joins=options.plan_joins,
+            )
+            head_vars = rule.head.args
+            seen: dict[tuple[Term, ...], None] = {}
+            for env in solver.solve(rule.body):
+                seen.setdefault(tuple(env.apply(v) for v in head_vars))
+            rows = list(seen)
+        return rows
+
+    # -- writes ------------------------------------------------------------------
+
+    def _parse_fact(self, text: str) -> Atom:
+        a = parse_atom(text.strip().rstrip("."))
+        if not a.is_ground():
+            raise EvaluationError(f"fact {a} is not ground")
+        return a
+
+    def assert_fact(self, text: str) -> Response:
+        return self._stage(True, self._parse_fact(text))
+
+    def retract_fact(self, text: str) -> Response:
+        return self._stage(False, self._parse_fact(text))
+
+    def _stage(self, is_add: bool, a: Atom) -> Response:
+        self._check_open()
+        with self._lock:
+            pending = self._pending
+            if pending is not None:
+                if len(pending) >= self._max_batch:
+                    self.stats.errors += 1
+                    return Response.failure(
+                        E_BATCH,
+                        f"pending batch exceeds max_batch={self._max_batch};"
+                        " :commit or :abort it",
+                    )
+                pending.append((is_add, a))
+                return Response(
+                    ok=True, kind="write",
+                    data={"staged": len(pending)},
+                )
+        snap, report = self._apply([(is_add, a)])
+        net = (report.net_added if is_add else report.net_removed) \
+            if report is not None else 0
+        with self._lock:
+            self.stats.writes += 1
+        return Response(
+            ok=True, kind="write",
+            data={"applied": net}, version=snap.version,
+        )
+
+    def begin(self) -> Response:
+        """Open an explicit write batch (``:begin``)."""
+        self._check_open()
+        with self._lock:
+            if self._pending is None:
+                self._pending = []
+            return Response(
+                ok=True, kind="ok", data={"batch": len(self._pending)}
+            )
+
+    def commit(self) -> Response:
+        """Apply the pending batch as one atomic delta (``:commit``)."""
+        self._check_open()
+        with self._lock:
+            pending, self._pending = self._pending or [], None
+        if not pending:
+            return Response(
+                ok=True, kind="write", data={"applied": 0},
+                version=self._model.version,
+            )
+        try:
+            snap, report = self._apply(pending)
+        except Exception:
+            # A failed apply must not lose the client's staged writes:
+            # restore them so the error is retryable (fact deltas are
+            # idempotent set operations, so a retry cannot double-apply).
+            with self._lock:
+                restored = list(pending)
+                if self._pending:
+                    restored.extend(self._pending)
+                self._pending = restored
+            raise
+        applied = (report.net_added + report.net_removed) \
+            if report is not None else 0
+        with self._lock:
+            self.stats.writes += len(pending)
+        return Response(
+            ok=True, kind="write",
+            data={"applied": applied}, version=snap.version,
+        )
+
+    def abort(self) -> Response:
+        """Discard the pending batch (``:abort``)."""
+        self._check_open()
+        with self._lock:
+            dropped = len(self._pending or ())
+            self._pending = None
+        return Response(ok=True, kind="ok", data={"dropped": dropped})
+
+    def flush(self) -> None:
+        """Commit any pending batch (the read-your-writes hook)."""
+        with self._lock:
+            has_pending = bool(self._pending)
+        if has_pending:
+            self.commit()
+
+    def _apply(
+        self, batch: Iterable[tuple[bool, Atom]]
+    ) -> tuple[ModelSnapshot, Optional[MaintenanceReport]]:
+        """Apply one batch; returns the snapshot plus **this call's**
+        maintenance report (a no-op delta publishes nothing, so the
+        returned snapshot's own ``report`` field is the previous one)."""
+        adds = [a for is_add, a in batch if is_add]
+        dels = [a for is_add, a in batch if not is_add]
+        with self._model.lock:
+            snap = self._model.apply_delta(adds=adds, dels=dels)
+            return snap, self._model.last_report
+
+    # -- the REPL grammar --------------------------------------------------------
+
+    def execute(self, line: str) -> Response:
+        """Dispatch one protocol line; never raises — errors are responses."""
+        try:
+            return self._dispatch(line.strip())
+        except RetiredVersionError as exc:
+            return self._error(E_RETIRED, exc)
+        except SafetyError as exc:
+            return self._error(E_UNSAFE, exc)
+        except LPSError as exc:
+            code = E_PARSE if _is_parse_error(exc) else E_EVAL
+            return self._error(code, exc)
+
+    def _error(self, code: str, exc: Exception) -> Response:
+        with self._lock:
+            self.stats.errors += 1
+        return Response.failure(code, str(exc))
+
+    def _dispatch(self, line: str) -> Response:
+        if not line:
+            return Response(ok=True, kind="ok")
+        if self._closed:
+            return Response.failure(E_CLOSED, "session is closed")
+        if line.startswith("?-"):
+            result = self.query(line[2:].strip().rstrip("."))
+            return Response(
+                ok=True, kind="answers",
+                data={
+                    "vars": list(result.vars),
+                    "rows": result.bindings(),
+                    "truth": result.truth,
+                },
+                version=result.version,
+            )
+        if line.startswith("+"):
+            return self.assert_fact(line[1:])
+        if line.startswith("-"):
+            return self.retract_fact(line[1:])
+        if line.startswith(":"):
+            return self._command(line)
+        # Anything else is a program clause.
+        snap = self.add_clause(line)
+        return Response(ok=True, kind="ok", version=snap.version)
+
+    def _command(self, line: str) -> Response:
+        cmd, _, arg = line.partition(" ")
+        arg = arg.strip()
+        if cmd == ":begin":
+            return self.begin()
+        if cmd == ":commit":
+            return self.commit()
+        if cmd == ":abort":
+            return self.abort()
+        if cmd == ":version":
+            snap = self.snapshot()
+            return Response(
+                ok=True, kind="version",
+                data={
+                    "latest": self._model.version,
+                    "reading": snap.version,
+                    "pinned": self._read_version is not None,
+                },
+                version=snap.version,
+            )
+        if cmd == ":at":
+            try:
+                version = int(arg.rstrip("."))
+            except ValueError:
+                return Response.failure(
+                    E_COMMAND, f"usage: :at VERSION (got {arg!r})"
+                )
+            # Pin the version so it cannot retire out from under the
+            # session while it is reading there (released by :latest).
+            self.unpin()
+            snap = self.pin(version)         # raises RetiredVersionError
+            return Response(ok=True, kind="ok", version=snap.version)
+        if cmd == ":latest":
+            self.unpin()
+            return Response(
+                ok=True, kind="ok", version=self._model.version
+            )
+        if cmd == ":model":
+            snap = self.snapshot()
+            return Response(
+                ok=True, kind="model", data=snap.pretty(),
+                version=snap.version,
+            )
+        if cmd == ":plan":
+            return Response(ok=True, kind="plan", data=self.plan_text(arg))
+        if cmd == ":stats":
+            return Response(
+                ok=True, kind="stats", data=self.stats_data(),
+                version=self._model.version,
+            )
+        return Response.failure(E_COMMAND, f"unknown command {cmd!r}")
+
+    # -- program management ------------------------------------------------------
+
+    def add_clause(self, text: str) -> ModelSnapshot:
+        """Extend the shared program (rebuilds and publishes a version)."""
+        self._check_open()
+        if self._service is None:
+            raise EvaluationError(
+                "this session has no owning service; program extension "
+                "must go through QueryService.extend_program"
+            )
+        return self._service.extend_program(text)
+
+    def plan_text(self, text: str) -> str:
+        """Pretty-print the compiled plan of a standalone rule (``:plan``)."""
+        program = parse_program(text)
+        if not program.clauses:
+            raise EvaluationError("no clause to plan")
+        builtins = self._model.builtins
+        chunks = []
+        # Sugar like positive-formula bodies desugars into several clauses
+        # (Theorem 6); show the plan of each one.
+        for c in program.clauses:
+            if isinstance(c, GroupingClause):
+                cp = compile_grouping(c, builtins)
+            elif isinstance(c, LPSClause):
+                cp = compile_rule(c, builtins)
+            else:  # pragma: no cover - parser produces only the two forms
+                raise EvaluationError(f"cannot plan {c!r}")
+            header = f"-- {c}"
+            if not cp.is_set:
+                chunks.append(f"{header}\ntuple-mode: {cp.reason}")
+            else:
+                chunks.append(f"{header}\n{cp.root.pretty()}")
+        return "\n\n".join(chunks)
+
+    # -- stats -------------------------------------------------------------------
+
+    def stats_snapshot(self) -> SessionStats:
+        """A consistent copy of this session's counters (merge-on-read)."""
+        with self._lock:
+            out = SessionStats()
+            out.merge(self.stats)
+            return out
+
+    def stats_data(self) -> dict:
+        """The ``:stats`` payload; service-wide when a service owns us."""
+        return stats_payload(self._model, self._merge_stats())
+
+    def _merge_stats(self) -> SessionStats:
+        if self._service is not None:
+            return self._service.merged_session_stats()
+        return self.stats_snapshot()
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise EvaluationError("session is closed")
+
+
+def _is_parse_error(exc: Exception) -> bool:
+    from ..core.errors import ParseError
+
+    return isinstance(exc, ParseError)
+
+
+def stats_payload(model: VersionedModel, merged: SessionStats) -> dict:
+    """The ``:stats`` payload: last-delta summary, session totals and the
+    combined executor counters (writer maintenance + reader queries)."""
+    report = model.last_report
+    last = None
+    if report is not None:
+        last = {
+            "strategy": report.strategy,
+            "atoms_added": report.atoms_added,
+            "atoms_removed": report.atoms_removed,
+        }
+    exec_all = ExecStats()
+    exec_all.merge(model.exec_stats)
+    exec_all.merge(merged.execs)
+    return {
+        "version": model.version,
+        "last_delta": last,
+        "queries": merged.queries,
+        "answers": merged.answers,
+        "writes": merged.writes,
+        "errors": merged.errors,
+        "matches": merged.solver.matches,
+        "executor": exec_all.pretty(),
+    }

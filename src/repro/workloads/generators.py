@@ -272,6 +272,88 @@ def cost_churn(
     return out
 
 
+@dataclass(frozen=True)
+class TrafficPlan:
+    """A deterministic concurrent-traffic schedule for the query service.
+
+    ``reader_streams[i]`` is the full query-text sequence reader thread
+    ``i`` will issue; ``writer_batches`` is the churn stream the single
+    writer applies concurrently.  Everything is derived from the seed, so
+    a concurrency failure reproduces from ``(workload args, seed)`` even
+    though thread interleaving does not.
+    """
+
+    reader_streams: tuple[tuple[str, ...], ...]
+    writer_batches: tuple[ChurnBatch, ...]
+
+    @property
+    def n_queries(self) -> int:
+        return sum(len(s) for s in self.reader_streams)
+
+
+def query_stream(
+    n_queries: int,
+    n_nodes: int,
+    pred: str = "t",
+    p_ground: float = 0.3,
+    p_open: float = 0.1,
+    seed: int = 0,
+) -> tuple[str, ...]:
+    """Deterministic pattern queries over a binary graph predicate.
+
+    A mix of half-bound (``t(vI, X)``), ground (``t(vI, vJ)``) and fully
+    open (``t(X, Y)``) goals — the shapes a point-lookup / reachability /
+    dump read workload issues against the closure.
+    """
+    rng = random.Random(seed)
+    out: list[str] = []
+    for _ in range(n_queries):
+        r = rng.random()
+        if r < p_open:
+            out.append(f"{pred}(X, Y)")
+        elif r < p_open + p_ground:
+            a, b = rng.randrange(n_nodes), rng.randrange(n_nodes)
+            out.append(f"{pred}(v{a}, v{b})")
+        else:
+            out.append(f"{pred}(v{rng.randrange(n_nodes)}, X)")
+    return tuple(out)
+
+
+def mixed_traffic(
+    edges: Iterable[tuple[str, str]],
+    n_readers: int,
+    queries_per_reader: int,
+    n_batches: int,
+    batch_size: int = 1,
+    n_nodes: int = 0,
+    pred: str = "t",
+    seed: int = 0,
+) -> TrafficPlan:
+    """N reader query streams plus one writer churn stream, from one seed.
+
+    The canonical service workload: readers hammer the closure predicate
+    while the writer churns the underlying edge relation.  Reader ``i``
+    draws from sub-seed ``seed*1000 + i`` so adding readers never changes
+    the streams of the existing ones (throughput comparisons across
+    thread counts stay apples-to-apples).
+    """
+    edges = list(edges)
+    nodes = n_nodes if n_nodes > 0 else len(
+        {u for u, _ in edges} | {v for _, v in edges}
+    )
+    readers = tuple(
+        query_stream(
+            queries_per_reader, nodes, pred=pred, seed=seed * 1000 + i
+        )
+        for i in range(n_readers)
+    )
+    batches = tuple(edge_churn(
+        edges, n_batches=n_batches, batch_size=batch_size,
+        n_nodes=n_nodes, seed=seed,
+    ))
+    return TrafficPlan(reader_streams=readers, writer_batches=batches)
+
+
 def number_set(n: int, seed: int = 0) -> frozenset[int]:
     """``n`` distinct positive integers (for the Example 5 sum benchmark)."""
     rng = random.Random(seed)

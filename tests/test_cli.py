@@ -149,3 +149,34 @@ class TestRepl:
         assert main(["repl"]) == 0
         out = capsys.readouterr().out
         assert "true" in out
+
+
+class TestReplServiceParity:
+    def test_repl_conjunctive_query(self, monkeypatch, capsys):
+        """The REPL answers conjunctive goals through the same session
+        query path as the TCP server (parse → plan → execute)."""
+        lines = iter([
+            "edge(a, b). edge(b, a). edge(b, c).",
+            "path(X, Y) :- edge(X, Y).",
+            "path(X, Z) :- edge(X, Y), path(Y, Z).",
+            "?- path(X, Y), edge(Y, X).",
+            ":quit",
+        ])
+        monkeypatch.setattr("builtins.input", lambda prompt="": next(lines))
+        assert main(["repl"]) == 0
+        out = capsys.readouterr().out
+        assert "X = a, Y = b" in out
+        assert "X = b, Y = a" in out
+
+    def test_repl_queries_count_in_stats(self, monkeypatch, capsys):
+        lines = iter([
+            "p(a).",
+            "?- p(X).",
+            "?- p(a).",
+            ":stats",
+            ":quit",
+        ])
+        monkeypatch.setattr("builtins.input", lambda prompt="": next(lines))
+        assert main(["repl"]) == 0
+        out = capsys.readouterr().out
+        assert "2 queries" in out

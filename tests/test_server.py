@@ -1,0 +1,383 @@
+"""Conformance tests for the query-service layer (`repro.server`).
+
+Two contracts:
+
+* **Equivalence** — session query answers are exactly the model of the
+  pinned snapshot: bit-identical to a from-scratch evaluation of the
+  database at that version, whether the query runs set-at-a-time through
+  the plan executor or on the tuple solver.
+* **Structured failure** — every error path (parse error, retired
+  version, oversized batch, unsafe query, closed session, unknown
+  command) returns a :class:`Response` with a stable ``code`` and leaves
+  the shared model fully usable.
+"""
+
+import pytest
+
+from repro import parse_program
+from repro.core import atom, const
+from repro.engine import Database, Evaluator
+from repro.engine.setops import with_set_builtins
+from repro.server import (
+    E_BATCH,
+    E_CLOSED,
+    E_COMMAND,
+    E_PARSE,
+    E_RETIRED,
+    E_UNSAFE,
+    LineClient,
+    QueryService,
+    Response,
+    run_in_thread,
+)
+
+TC_SOURCE = """
+t(X, Y) :- e(X, Y).
+t(X, Z) :- e(X, Y), t(Y, Z).
+"""
+
+STRAT_SOURCE = TC_SOURCE + """
+n(a). n(b). n(c).
+iso(X) :- n(X), not t(X, X).
+"""
+
+
+def service(source=TC_SOURCE, **kw):
+    return QueryService(source, **kw)
+
+
+def scratch_relation(source, facts, pred):
+    db = Database()
+    for spec in facts:
+        db.add(*spec)
+    model = Evaluator(
+        parse_program(source), db, builtins=with_set_builtins()
+    ).run()
+    return model.relation(pred)
+
+
+class TestSessionQueries:
+    def test_pattern_query_matches_scratch(self):
+        svc = service()
+        s = svc.open_session()
+        for u, v in [("a", "b"), ("b", "c"), ("c", "d")]:
+            s.assert_fact(f"e({u}, {v})")
+        got = {tuple(str(t) for t in row)
+               for row in s.query("t(a, X)").rows}
+        want = {(v,) for u, v in scratch_relation(
+            TC_SOURCE,
+            [("e", "a", "b"), ("e", "b", "c"), ("e", "c", "d")], "t",
+        ) if u == "a"}
+        assert got == want
+        svc.shutdown()
+
+    def test_conjunctive_query(self):
+        svc = service()
+        s = svc.open_session()
+        for u, v in [("a", "b"), ("b", "a"), ("b", "c")]:
+            s.assert_fact(f"e({u}, {v})")
+        result = s.query("t(X, Y), e(Y, X)")
+        assert ("X", "Y") == result.vars
+        rows = {tuple(str(t) for t in r) for r in result.rows}
+        # t(X,Y) ∧ e(Y,X): the two orientations of the a↔b cycle (c has
+        # no outgoing edge, so t(c, b) never holds).
+        assert rows == {("a", "b"), ("b", "a")}
+        svc.shutdown()
+
+    def test_query_through_negation_stratum(self):
+        svc = service(STRAT_SOURCE)
+        s = svc.open_session()
+        s.assert_fact("e(a, a)")
+        got = {str(r[0]) for r in s.query("iso(X)").rows}
+        assert got == {"b", "c"}
+        svc.shutdown()
+
+    def test_ground_query_truth(self):
+        svc = service()
+        s = svc.open_session()
+        s.assert_fact("e(a, b)")
+        assert s.query("t(a, b)").truth
+        assert not s.query("t(b, a)").truth
+        svc.shutdown()
+
+    def test_plan_and_tuple_paths_agree(self):
+        facts = [("e", f"v{i}", f"v{i+1}") for i in range(12)]
+        answers = []
+        for compile_plans in (True, False):
+            from repro.engine.evaluation import EvalOptions
+
+            svc = QueryService(
+                TC_SOURCE,
+                options=EvalOptions(compile_plans=compile_plans),
+            )
+            s = svc.open_session()
+            for spec in facts:
+                s.assert_fact(f"{spec[0]}({spec[1]}, {spec[2]})")
+            answers.append([
+                tuple(str(t) for t in r)
+                for r in s.query("t(v0, X)").rows
+            ])
+            svc.shutdown()
+        assert answers[0] == answers[1]
+
+
+class TestWriteBatches:
+    def test_immediate_writes_publish_versions(self):
+        svc = service()
+        s = svc.open_session()
+        r1 = s.execute("+e(a, b).")
+        r2 = s.execute("+e(b, c).")
+        assert r1.version == 2 and r2.version == 3
+        assert s.execute("-e(b, c).").version == 4
+        svc.shutdown()
+
+    def test_batch_commit_is_one_version(self):
+        svc = service()
+        s = svc.open_session()
+        s.execute(":begin")
+        for i in range(5):
+            assert s.execute(f"+e(v{i}, v{i+1}).").data["staged"] == i + 1
+        assert svc.model.version == 1          # nothing published yet
+        r = s.execute(":commit")
+        assert r.ok and r.version == 2 and r.data["applied"] == 5
+        svc.shutdown()
+
+    def test_read_your_writes_flushes_pending(self):
+        svc = service()
+        s = svc.open_session()
+        s.execute(":begin")
+        s.execute("+e(a, b).")
+        s.execute("+e(b, c).")
+        r = s.execute("?- t(a, c).")
+        assert r.ok and r.data["truth"] and r.version == 2
+        svc.shutdown()
+
+    def test_other_sessions_never_see_pending(self):
+        svc = service()
+        writer, reader = svc.open_session(), svc.open_session()
+        writer.execute(":begin")
+        writer.execute("+e(a, b).")
+        assert not reader.execute("?- e(a, b).").data["truth"]
+        writer.execute(":commit")
+        assert reader.execute("?- e(a, b).").data["truth"]
+        svc.shutdown()
+
+    def test_abort_discards(self):
+        svc = service()
+        s = svc.open_session()
+        s.execute(":begin")
+        s.execute("+e(a, b).")
+        assert s.execute(":abort").data["dropped"] == 1
+        assert not s.execute("?- e(a, b).").data["truth"]
+        svc.shutdown()
+
+
+class TestTimeTravel:
+    def test_at_reads_old_version_and_latest_returns(self):
+        svc = service()
+        s = svc.open_session()
+        s.execute("+e(a, b).")                 # version 2
+        s.execute("+e(b, c).")                 # version 3
+        assert s.execute(":at 2").ok
+        assert not s.execute("?- t(a, c).").data["truth"]
+        assert s.execute(":latest").ok
+        assert s.execute("?- t(a, c).").data["truth"]
+        svc.shutdown()
+
+    def test_noop_write_reports_zero_applied(self):
+        svc = service()
+        s = svc.open_session()
+        assert s.execute("+e(a, b).").data["applied"] == 1
+        dup = s.execute("+e(a, b).")
+        assert dup.ok and dup.data["applied"] == 0
+        assert dup.version == 2                # no new version published
+        s.execute(":begin")
+        s.execute("+e(a, b).")                 # nets to nothing
+        assert s.execute(":commit").data["applied"] == 0
+        svc.shutdown()
+
+    def test_at_pins_against_retirement(self):
+        """A version a session reads via ``:at`` must not retire out from
+        under it while more writes land."""
+        svc = service(keep_versions=2)
+        s = svc.open_session()
+        s.execute("+e(a, b).")                 # version 2
+        assert s.execute(":at 2").ok
+        for i in range(5):                     # would retire v2 if unpinned
+            svc.apply_delta(adds=[("e", f"n{i}", f"m{i}")])
+        r = s.execute("?- e(a, b).")
+        assert r.ok and r.version == 2 and r.data["truth"]
+        s.execute(":latest")                   # releases the pin
+        assert not s.execute(":at 2").ok       # now genuinely retired
+        svc.shutdown()
+
+    def test_version_report(self):
+        svc = service()
+        s = svc.open_session()
+        s.execute("+e(a, b).")
+        data = s.execute(":version").data
+        assert data["latest"] == 2 and data["reading"] == 2
+        svc.shutdown()
+
+
+class TestErrorPaths:
+    def test_parse_error_is_structured_and_harmless(self):
+        svc = service()
+        s = svc.open_session()
+        s.execute("+e(a, b).")
+        bad = s.execute("?- t(a")
+        assert not bad.ok and bad.code == E_PARSE
+        bad_fact = s.execute("+e(a")
+        assert not bad_fact.ok and bad_fact.code == E_PARSE
+        # The model survives untouched.
+        assert s.execute("?- e(a, b).").data["truth"]
+        assert svc.model.version == 2
+        svc.shutdown()
+
+    def test_non_ground_fact_is_structured(self):
+        svc = service()
+        s = svc.open_session()
+        r = s.execute("+e(a, X).")
+        assert not r.ok and "not ground" in r.error
+        svc.shutdown()
+
+    def test_retired_version_is_structured(self):
+        svc = service(keep_versions=2)
+        s = svc.open_session()
+        for i in range(4):
+            s.execute(f"+e(n{i}, m{i}).")
+        r = s.execute(":at 1")
+        assert not r.ok and r.code == E_RETIRED
+        # Session still follows the head afterwards.
+        assert s.execute("?- e(n0, m0).").ok
+        svc.shutdown()
+
+    def test_oversized_batch_is_structured(self):
+        svc = service(max_batch=3)
+        s = svc.open_session()
+        s.execute(":begin")
+        for i in range(3):
+            assert s.execute(f"+e(a{i}, b{i}).").ok
+        r = s.execute("+e(a3, b3).")
+        assert not r.ok and r.code == E_BATCH
+        # The staged batch itself is still intact and committable.
+        assert s.execute(":commit").data["applied"] == 3
+        svc.shutdown()
+
+    def test_unsafe_query_is_structured(self):
+        svc = service(STRAT_SOURCE)
+        s = svc.open_session()
+        r = s.execute("?- not t(X, Y).")
+        assert not r.ok and r.code == E_UNSAFE
+        svc.shutdown()
+
+    def test_unknown_command(self):
+        svc = service()
+        s = svc.open_session()
+        r = s.execute(":frobnicate")
+        assert not r.ok and r.code == E_COMMAND
+        svc.shutdown()
+
+    def test_closed_session_is_structured(self):
+        svc = service()
+        s = svc.open_session()
+        s.close()
+        r = s.execute("?- e(a, b).")
+        assert not r.ok and r.code == E_CLOSED
+        svc.shutdown()
+
+    def test_close_discards_pending_writes(self):
+        svc = service()
+        s = svc.open_session()
+        s.execute(":begin")
+        s.execute("+e(a, b).")
+        s.close()
+        other = svc.open_session()
+        assert not other.execute("?- e(a, b).").data["truth"]
+        assert svc.model.version == 1
+        svc.shutdown()
+
+    def test_bad_clause_leaves_program_unchanged(self):
+        svc = service()
+        s = svc.open_session()
+        r = s.execute("p(X) :-")
+        assert not r.ok and r.code == E_PARSE
+        good = s.execute("p(X) :- e(X, X).")
+        assert good.ok
+        s.execute("+e(a, a).")
+        assert s.execute("?- p(a).").data["truth"]
+        svc.shutdown()
+
+
+class TestServiceFrontEnd:
+    def test_submit_runs_on_pool(self):
+        svc = service()
+        s = svc.open_session()
+        s.execute("+e(a, b).")
+        future = svc.submit(s, "?- e(a, b).")
+        assert future.result(timeout=10).data["truth"]
+        svc.shutdown()
+
+    def test_session_accounting(self):
+        svc = service()
+        s1, s2 = svc.open_session(), svc.open_session()
+        assert svc.session_count() == 2
+        s1.close()
+        assert svc.session_count() == 1
+        svc.shutdown()
+        assert svc.session_count() == 0
+
+    def test_stats_include_closed_sessions(self):
+        svc = service()
+        s = svc.open_session()
+        s.execute("+e(a, b).")
+        s.execute("?- e(a, b).")
+        s.close()
+        data = svc.stats_data()
+        assert data["queries"] == 1 and data["writes"] == 1
+        svc.shutdown()
+
+
+class TestProtocol:
+    def test_round_trip_and_json_shape(self):
+        svc = service()
+        with run_in_thread(svc) as h, LineClient(h.host, h.port) as c:
+            r = c.send("+e(a, b).")
+            assert r.ok and r.kind == "write"
+            r = c.query("t(a, X)")
+            assert r.data["rows"] == [{"X": "b"}]
+            r = c.send("?- t(a")
+            assert not r.ok and r.code == E_PARSE
+            assert c.send(":quit").kind == "bye"
+        svc.shutdown()
+
+    def test_disconnect_mid_batch_does_not_poison(self):
+        svc = service()
+        with run_in_thread(svc) as h:
+            with LineClient(h.host, h.port) as c1:
+                c1.send(":begin")
+                c1.send("+e(x, y).")
+            # c1 dropped without commit; a new client sees nothing.
+            with LineClient(h.host, h.port) as c2:
+                assert not c2.query("e(x, y)").data["truth"]
+        svc.shutdown()
+
+    def test_concurrent_clients_are_isolated(self):
+        svc = service()
+        with run_in_thread(svc) as h:
+            clients = [LineClient(h.host, h.port) for _ in range(4)]
+            try:
+                clients[0].send("+e(a, b).")
+                for c in clients:
+                    assert c.query("e(a, b)").data["truth"]
+                versions = {c.send(":version").data["latest"]
+                            for c in clients}
+                assert versions == {2}
+            finally:
+                for c in clients:
+                    c.close()
+        svc.shutdown()
+
+    def test_response_json_round_trip(self):
+        r = Response(ok=True, kind="answers", data={"x": 1}, version=3)
+        assert Response.from_json(r.to_json()) == r
