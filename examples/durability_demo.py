@@ -1,0 +1,109 @@
+"""Durability demo: write, ``kill -9``, recover, re-query.
+
+A child process opens a :class:`~repro.storage.DurableModel` over a
+transitive-closure program and commits edge-churn batches in a loop,
+printing each acknowledged version.  The parent lets it run briefly, then
+sends it **SIGKILL** — no atexit handlers, no flush-on-exit, the real
+crash — and recovers the data directory in-process:
+
+* the recovered version equals the last version the child *acknowledged*
+  (a torn final WAL record, if the kill landed mid-append, is quarantined);
+* the recovered model answers queries identically to a from-scratch
+  evaluation of the surviving facts;
+* writing continues with monotonically increasing versions.
+
+Run:  PYTHONPATH=src python examples/durability_demo.py
+"""
+
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.engine import Evaluator
+from repro.engine.setops import with_set_builtins
+from repro.storage import DurableModel
+
+WORKER = """\
+import sys
+from repro import parse_program
+from repro.engine import Database
+from repro.engine.setops import with_set_builtins
+from repro.storage import DurableModel
+from repro.workloads import crash_recovery
+
+data_dir = sys.argv[1]
+plan = crash_recovery(n_nodes=10, n_edges=20, n_batches=400,
+                      batch_size=2, seed=7)
+db = Database()
+for spec in plan.initial_facts:
+    db.add(*spec)
+model = DurableModel(parse_program(plan.program), data_dir, db,
+                     builtins=with_set_builtins(), checkpoint_every=50)
+batches = list(plan.batches)
+i = 0
+while True:   # loop the stream forever; the parent will SIGKILL us
+    b = batches[i % len(batches)]
+    snap = model.apply_delta(adds=b.adds, dels=b.dels)
+    print(f"acked v{snap.version}", flush=True)
+    i += 1
+"""
+
+
+def main() -> None:
+    data_dir = Path(tempfile.mkdtemp(prefix="lps-durability-demo-"))
+    print(f"durable store: {data_dir}")
+
+    import repro
+
+    src_root = str(Path(repro.__file__).resolve().parents[1])
+    child = subprocess.Popen(
+        [sys.executable, "-c", WORKER, str(data_dir)],
+        stdout=subprocess.PIPE, text=True,
+        env={**os.environ, "PYTHONPATH": src_root},
+    )
+    acked = 0
+    deadline = time.time() + 15
+    while time.time() < deadline:
+        line = child.stdout.readline()
+        if line.startswith("acked v"):
+            acked = int(line.strip()[7:])
+        if acked >= 40:      # enough history to make recovery interesting
+            break
+    print(f"child acknowledged through v{acked} — kill -9")
+    child.kill()             # SIGKILL: no cleanup, no flushing
+    child.wait()
+
+    model = DurableModel.recover(data_dir, builtins=with_set_builtins())
+    print(f"recovered at v{model.version} "
+          f"({len(model.current.interpretation)} model atoms)")
+    assert model.version >= acked, (
+        f"recovered v{model.version} < acknowledged v{acked}: "
+        "an acknowledged batch was lost!"
+    )
+
+    # The recovered model is bit-identical to from-scratch evaluation of
+    # the surviving facts.
+    fresh = Evaluator(
+        model.program, model._materialized.database,
+        builtins=with_set_builtins(),
+    ).run()
+    assert model.current.interpretation == fresh.interpretation
+    print("recovered model == from-scratch evaluation of surviving facts")
+
+    closure = sorted(model.current.relation("t"))
+    print(f"re-query: {len(closure)} closure facts, e.g. "
+          f"{closure[:3]} ...")
+
+    # Writes resume with monotone versions.
+    snap = model.apply_delta(adds=[("e", "v0", "v9")])
+    print(f"post-recovery write published v{snap.version}")
+    assert snap.version == model.version
+    model.close()
+    print("ok")
+
+
+if __name__ == "__main__":
+    main()

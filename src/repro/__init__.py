@@ -21,7 +21,11 @@ The package provides:
 * ``repro.workloads`` - synthetic workload generators for the benchmarks;
 * ``repro.server`` - the concurrent query service: snapshot-isolated
   sessions over a versioned maintained model, a thread-pool front end
-  and a line-oriented TCP protocol (the REPL is a thin client of it).
+  and a line-oriented TCP protocol (the REPL is a thin client of it);
+* ``repro.storage`` - durable storage: write-ahead logged delta batches
+  and checkpointed snapshots with crash recovery (``DurableModel``),
+  wired through ``QueryService(data_dir=...)``, ``lps serve --data-dir``
+  and the REPL's ``:save``/``:open``.
 
 Quickstart::
 

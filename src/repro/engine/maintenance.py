@@ -937,9 +937,12 @@ class VersionedModel:
         builtins: Mapping[str, Builtin] = DEFAULT_BUILTINS,
         options: Optional[EvalOptions] = None,
         keep_versions: int = 8,
+        base_version: int = 0,
     ) -> None:
         if keep_versions < 1:
             raise ValueError("keep_versions must be >= 1")
+        if base_version < 0:
+            raise ValueError("base_version must be >= 0")
         self._lock = threading.RLock()
         self._keep = keep_versions
         self._materialized = MaterializedModel(
@@ -947,7 +950,11 @@ class VersionedModel:
         )
         self._pins: dict[int, int] = {}
         self._snapshots: dict[int, ModelSnapshot] = {}
-        self._version = 0
+        # ``base_version`` lets durable recovery resume the pre-crash
+        # numbering: the initial publication becomes ``base_version + 1``
+        # (the version the recovered checkpoint was taken at), so version
+        # numbers stay monotone across restarts.
+        self._version = base_version
         self.current: ModelSnapshot = self._publish(None)
 
     # -- read side ---------------------------------------------------------------

@@ -100,12 +100,23 @@ def tokenize(source: str) -> list[Token]:
             advance(1)
             continue
         if ch == "'":
+            # A doubled quote inside a quoted constant is an escaped quote
+            # (SQL style), so every string payload round-trips through the
+            # pretty-printer: pretty writes '' for ' and we fold it back.
             j = i + 1
             buf = []
-            while j < n and source[j] != "'":
+            closed = False
+            while j < n:
+                if source[j] == "'":
+                    if j + 1 < n and source[j + 1] == "'":
+                        buf.append("'")
+                        j += 2
+                        continue
+                    closed = True
+                    break
                 buf.append(source[j])
                 j += 1
-            if j >= n:
+            if not closed:
                 raise ParseError("unterminated quoted constant", line, col)
             tokens.append(Token(STRING, "".join(buf), start_line, start_col))
             advance(j - i + 1)

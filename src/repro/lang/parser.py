@@ -359,6 +359,16 @@ class Parser:
         if t.kind == INT:
             self._next()
             return Const(int(t.text)), []
+        if (
+            t.kind == PUNCT
+            and t.text == "-"
+            and self._tokens[self._pos + 1].kind == INT
+        ):
+            # A leading minus at term start is a negative integer literal
+            # (the pretty-printer emits them); binary minus never reaches
+            # here because _parse_expr consumes the operator first.
+            self._next()
+            return Const(-int(self._next().text)), []
         if t.kind == STRING:
             self._next()
             return Const(t.text), []

@@ -21,8 +21,14 @@ from ..core.formulas import (
 from ..core.program import Program
 from ..core.sorts import EQUALS, MEMBER
 from ..core.terms import App, Const, SetExpr, SetValue, Term, Var
+from .lexer import KEYWORDS
 
 _COMPARISON_NAMES = {"lt": "<", "le": "<=", "gt": ">", "ge": ">="}
+
+
+def _quote(value: str) -> str:
+    """Quote a string payload, doubling embedded quotes (lexer folds back)."""
+    return "'" + value.replace("'", "''") + "'"
 
 
 def pretty_term(t: Term) -> str:
@@ -31,9 +37,16 @@ def pretty_term(t: Term) -> str:
     if isinstance(t, Const):
         if isinstance(t.value, int):
             return str(t.value)
-        if t.value and t.value[0].islower() and t.value.isidentifier():
+        # Bare only when it re-lexes as a plain IDENT: keywords would come
+        # back as KEYWORD tokens and fail to parse in term position.
+        if (
+            t.value
+            and t.value[0].islower()
+            and t.value.isidentifier()
+            and t.value not in KEYWORDS
+        ):
             return t.value
-        return f"'{t.value}'"
+        return _quote(t.value)
     if isinstance(t, App):
         return f"{t.fname}({', '.join(pretty_term(a) for a in t.args)})"
     if isinstance(t, SetExpr):

@@ -86,9 +86,14 @@ class Session:
     semantic happens in the service layer.
     """
 
-    def __init__(self, source: str = "") -> None:
-        self._service = QueryService(source if source.strip() else None)
+    def __init__(
+        self, source: str = "", data_dir: Optional[str] = None
+    ) -> None:
+        self._service = QueryService(
+            source if source.strip() else None, data_dir=data_dir
+        )
         self._session: ServiceSession = self._service.open_session()
+        self.data_dir = data_dir
 
     @property
     def service(self) -> QueryService:
@@ -128,6 +133,35 @@ class Session:
                     f"{v} = {t}" for v, t in zip(result.vars, row)
                 ))
 
+    def save(self, path: str) -> str:
+        """``:save DIR`` — persist the current state as a durable store.
+
+        On a durable session pointing at the same directory this is a
+        checkpoint (snapshot + WAL truncation); otherwise the model is
+        frozen into a fresh directory that ``:open DIR`` (or ``lps repl
+        --data-dir DIR``) recovers.
+        """
+        from pathlib import Path
+
+        from ..storage import save_snapshot
+
+        model = self._service.model
+        own_dir = getattr(model, "data_dir", None)
+        if own_dir is not None and \
+                Path(path).resolve() == Path(own_dir).resolve():
+            return str(model.checkpoint())
+        return str(save_snapshot(path, model))
+
+    def open(self, path: str) -> "Session":
+        """``:open DIR`` — switch to the durable store at ``DIR``.
+
+        Recovers existing state (or creates an empty store), shuts the
+        current service down, and returns the replacement session.
+        """
+        replacement = Session(data_dir=path)
+        self._service.shutdown()
+        return replacement
+
     def stats_text(self) -> str:
         """The ``:stats`` payload: last-delta summary + executor counters."""
         data = self._session.stats_data()
@@ -148,14 +182,15 @@ class Session:
         return "\n".join(lines)
 
 
-def cmd_repl(path: Optional[str]) -> int:
-    session = Session()
+def cmd_repl(path: Optional[str], data_dir: Optional[str] = None) -> int:
+    session = Session(data_dir=data_dir)
     if path:
         with open(path) as f:
             session.add_clause(f.read())
     print("LPS repl — clauses end with '.', queries start with '?-', "
           "+fact./-fact. insert/delete facts, :model prints the model, "
-          ":plan rule. shows its compiled plan, :quit exits.")
+          ":plan rule. shows its compiled plan, :save DIR/:open DIR "
+          "persist/recover durable state, :quit exits.")
     while True:
         try:
             line = input("lps> ").strip()
@@ -173,6 +208,20 @@ def cmd_repl(path: Optional[str]) -> int:
                 print(session.stats_text())
             elif line.startswith(":plan"):
                 print(session.plan_text(line[len(":plan"):].strip()))
+            elif line.startswith(":save"):
+                target = line[len(":save"):].strip() or session.data_dir
+                if not target:
+                    print("usage: :save DIR", file=sys.stderr)
+                else:
+                    print(f"saved {session.save(target)}")
+            elif line.startswith(":open"):
+                target = line[len(":open"):].strip()
+                if not target:
+                    print("usage: :open DIR", file=sys.stderr)
+                else:
+                    session = session.open(target)
+                    print(f"opened {target} at version "
+                          f"{session.service.model.version}")
             elif line.startswith("+"):
                 report = session.assert_fact(line[1:])
                 print("added." if report.net_added else "no change.")
@@ -187,7 +236,10 @@ def cmd_repl(path: Optional[str]) -> int:
             print(f"error: {exc}", file=sys.stderr)
 
 
-def cmd_serve(path: Optional[str], host: str, port: int) -> int:
+def cmd_serve(
+    path: Optional[str], host: str, port: int,
+    data_dir: Optional[str] = None,
+) -> int:
     """Serve the line protocol over TCP until interrupted."""
     import asyncio
 
@@ -197,7 +249,12 @@ def cmd_serve(path: Optional[str], host: str, port: int) -> int:
     if path:
         with open(path) as f:
             source = f.read()
-    service = QueryService(source if source.strip() else None)
+    service = QueryService(
+        source if source.strip() else None, data_dir=data_dir
+    )
+    if data_dir:
+        print(f"durable state in {data_dir} "
+              f"(recovered at version {service.model.version})")
 
     async def main() -> None:
         server = await serve(service, host, port)
@@ -225,10 +282,16 @@ def main(argv: Optional[list[str]] = None) -> int:
     p_query.add_argument("query")
     p_repl = sub.add_parser("repl", help="interactive loop")
     p_repl.add_argument("path", nargs="?")
+    p_repl.add_argument("--data-dir", default=None,
+                        help="durable state directory (recovered if it "
+                             "already holds a store)")
     p_serve = sub.add_parser("serve", help="line-protocol TCP server")
     p_serve.add_argument("path", nargs="?")
     p_serve.add_argument("--host", default="127.0.0.1")
     p_serve.add_argument("--port", type=int, default=4712)
+    p_serve.add_argument("--data-dir", default=None,
+                         help="durable state directory; commits are "
+                              "WAL-logged before they are acknowledged")
     args = parser.parse_args(argv)
     try:
         if args.command == "run":
@@ -236,8 +299,8 @@ def main(argv: Optional[list[str]] = None) -> int:
         if args.command == "query":
             return cmd_query(args.path, args.query)
         if args.command == "serve":
-            return cmd_serve(args.path, args.host, args.port)
-        return cmd_repl(args.path)
+            return cmd_serve(args.path, args.host, args.port, args.data_dir)
+        return cmd_repl(args.path, args.data_dir)
     except LPSError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -23,6 +23,7 @@ maintenance sweep mutates its private copy-on-write state.
 
 from __future__ import annotations
 
+import os
 import threading
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Any, Iterable, Mapping, Optional, Union
@@ -33,12 +34,20 @@ from ..engine.database import Database
 from ..engine.evaluation import EvalOptions
 from ..engine.maintenance import ModelSnapshot, VersionedModel
 from ..engine.setops import with_set_builtins
-from ..lang import parse_program
+from ..lang import parse_program, pretty_clause
 from .session import Response, Session, SessionStats
 
 
 class QueryService:
-    """Multiplex concurrent sessions over one versioned model."""
+    """Multiplex concurrent sessions over one versioned model.
+
+    With ``data_dir`` set the service runs in **durable mode**: the model
+    is a :class:`~repro.storage.durable.DurableModel`, every committed
+    batch is WAL-logged *before* the write (or ``:commit``) is
+    acknowledged, and constructing the service over a directory that
+    already holds state recovers it — the stored program wins over the
+    ``program`` argument, which only seeds brand-new directories.
+    """
 
     def __init__(
         self,
@@ -49,24 +58,49 @@ class QueryService:
         max_workers: int = 8,
         keep_versions: int = 8,
         max_batch: int = 10_000,
+        data_dir: Optional[Union[str, os.PathLike]] = None,
+        fsync: str = "always",
+        checkpoint_every: Optional[int] = 512,
     ) -> None:
         if isinstance(program, Program):
+            # pretty_clause, not str(): only the pretty-printer's output is
+            # round-trip verified (quoted/keyword constants, negative ints),
+            # and extend_program re-parses these lines on every extension.
             self._source_lines: list[str] = [
-                f"{c}" for c in program.clauses
+                pretty_clause(c) for c in program.clauses
             ]
             parsed = program
         else:
             self._source_lines = [program] if program else []
             parsed = parse_program("\n".join(self._source_lines))
         self.max_batch = max_batch
-        self.model = VersionedModel(
-            parsed,
-            database,
-            builtins=builtins if builtins is not None
-            else with_set_builtins(),
-            options=options,
-            keep_versions=keep_versions,
-        )
+        builtins = builtins if builtins is not None else with_set_builtins()
+        if data_dir is not None:
+            from ..storage.durable import DurableModel
+
+            self.model: VersionedModel = DurableModel.open(
+                parsed,
+                data_dir,
+                database=database,
+                builtins=builtins,
+                options=options,
+                keep_versions=keep_versions,
+                fsync=fsync,
+                checkpoint_every=checkpoint_every,
+            )
+            # After recovery the durable program is authoritative: rebuild
+            # the source lines extend_program revalidates against.
+            self._source_lines = [
+                pretty_clause(c) for c in self.model.program.clauses
+            ]
+        else:
+            self.model = VersionedModel(
+                parsed,
+                database,
+                builtins=builtins,
+                options=options,
+                keep_versions=keep_versions,
+            )
         self._pool = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="lps-query"
         )
@@ -150,6 +184,13 @@ class QueryService:
 
     # -- lifecycle ---------------------------------------------------------------
 
+    def checkpoint(self):
+        """Durable mode: snapshot now and truncate the WAL (no-op otherwise)."""
+        checkpoint = getattr(self.model, "checkpoint", None)
+        if checkpoint is None:
+            return None
+        return checkpoint()
+
     def shutdown(self) -> None:
         if self._closed:
             return
@@ -159,6 +200,9 @@ class QueryService:
         for session in live:
             session.close()
         self._pool.shutdown(wait=True)
+        close = getattr(self.model, "close", None)
+        if close is not None:
+            close()
 
     def __enter__(self) -> "QueryService":
         return self

@@ -1,0 +1,44 @@
+"""Durable storage: write-ahead logged deltas + checkpointed snapshots.
+
+The subsystem has four layers (see DESIGN.md, "Durability"):
+
+* :mod:`repro.storage.codec` — canonical checksummed JSON-lines records;
+  terms/atoms/programs ride as concrete LPS syntax (verified round trip);
+* :mod:`repro.storage.wal` — segmented append-only write-ahead log with a
+  configurable fsync policy and torn-tail quarantine;
+* :mod:`repro.storage.checkpoint` — atomic write-temp-then-rename EDB +
+  program snapshots;
+* :mod:`repro.storage.durable` — :class:`DurableModel`, the log-before-
+  publish wrapper around the versioned maintained model, and
+  :meth:`DurableModel.recover`.
+"""
+
+from .codec import (
+    FORMAT_VERSION,
+    CodecError,
+    RecoveryError,
+    StorageError,
+    decode_record,
+    encode_record,
+)
+from .checkpoint import list_checkpoints, load_checkpoint, write_checkpoint
+from .durable import DurableModel, has_state, save_snapshot
+from .wal import FSYNC_ALWAYS, FSYNC_NEVER, WriteAheadLog
+
+__all__ = [
+    "FORMAT_VERSION",
+    "StorageError",
+    "CodecError",
+    "RecoveryError",
+    "encode_record",
+    "decode_record",
+    "WriteAheadLog",
+    "FSYNC_ALWAYS",
+    "FSYNC_NEVER",
+    "write_checkpoint",
+    "load_checkpoint",
+    "list_checkpoints",
+    "DurableModel",
+    "has_state",
+    "save_snapshot",
+]

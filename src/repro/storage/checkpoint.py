@@ -1,0 +1,197 @@
+"""Checkpointed snapshots: the EDB + program at a recorded version.
+
+A checkpoint file ``ckpt-%016d.json`` (named by the version it captures)
+is a JSON-lines document of :mod:`repro.storage.codec` records::
+
+    checkpoint-header   {version, mode, program, facts: N}
+    fact                {atom}          × N   (sorted, deterministic)
+    checkpoint-footer   {facts: N}
+
+Only the *extensional* state is stored — the program source and the
+database facts.  Recovery rebuilds the derived model by evaluation, which
+is exactly the engine's correctness anchor (``apply_delta ≡ recompute``):
+a checkpoint can never disagree with what from-scratch evaluation of its
+facts produces, because it stores nothing else.
+
+**Atomicity.**  :func:`write_checkpoint` writes to a ``ckpt-*.tmp`` name,
+fsyncs, then atomically renames into place and fsyncs the directory — a
+crash mid-write leaves only a temp file, which recovery ignores (and
+cleans up).  The footer record doubles as a completeness marker for
+filesystems that fail the atomic-rename assumption: a truncated or
+bit-flipped checkpoint fails its per-record CRCs or its fact count and is
+rejected by :func:`load_checkpoint` — callers then quarantine it and fall
+back to an older checkpoint (see ``DurableModel.recover``).
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+from pathlib import Path
+from typing import Optional
+
+from ..core.program import MODE_ELPS, MODE_LPS, Program
+from ..engine.database import Database
+from .codec import (
+    KIND_CKPT_FACT,
+    KIND_CKPT_FOOTER,
+    KIND_CKPT_HEADER,
+    CodecError,
+    decode_atom,
+    decode_program,
+    decode_record,
+    encode_atom,
+    encode_program,
+    encode_record,
+)
+
+logger = logging.getLogger("repro.storage")
+
+CHECKPOINT_PREFIX = "ckpt-"
+CHECKPOINT_SUFFIX = ".json"
+TMP_SUFFIX = ".tmp"
+
+
+def checkpoint_name(version: int) -> str:
+    return f"{CHECKPOINT_PREFIX}{version:016d}{CHECKPOINT_SUFFIX}"
+
+
+def checkpoint_version(path: Path) -> Optional[int]:
+    name = path.name
+    if not (
+        name.startswith(CHECKPOINT_PREFIX)
+        and name.endswith(CHECKPOINT_SUFFIX)
+    ):
+        return None
+    digits = name[len(CHECKPOINT_PREFIX):-len(CHECKPOINT_SUFFIX)]
+    return int(digits) if digits.isdigit() else None
+
+
+def list_checkpoints(directory: Path) -> list[Path]:
+    """Checkpoint files, oldest first (temp/quarantined files excluded)."""
+    out = [
+        p for p in Path(directory).iterdir()
+        if checkpoint_version(p) is not None
+    ]
+    return sorted(out, key=lambda p: checkpoint_version(p))
+
+
+def write_checkpoint(
+    directory: Path,
+    version: int,
+    program: Program,
+    database: Database,
+    fsync: bool = True,
+) -> Path:
+    """Serialize ``(program, EDB)`` at ``version``; atomic temp+rename."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    facts = sorted(
+        (encode_atom(a) for a in database.facts()), key=str
+    )
+    lines = [encode_record(KIND_CKPT_HEADER, {
+        "version": version,
+        "mode": program.mode,
+        "program": encode_program(program),
+        "facts": len(facts),
+    })]
+    lines.extend(
+        encode_record(KIND_CKPT_FACT, {"atom": f}) for f in facts
+    )
+    lines.append(encode_record(KIND_CKPT_FOOTER, {"facts": len(facts)}))
+    final = directory / checkpoint_name(version)
+    tmp = directory / (checkpoint_name(version) + TMP_SUFFIX)
+    with open(tmp, "w", encoding="ascii", newline="\n") as f:
+        f.write("\n".join(lines) + "\n")
+        f.flush()
+        if fsync:
+            os.fsync(f.fileno())
+    os.replace(tmp, final)
+    if fsync:
+        _fsync_dir(directory)
+    logger.info("checkpoint %s written (%d facts at version %d)",
+                final.name, len(facts), version)
+    return final
+
+
+def load_checkpoint(path: Path) -> tuple[int, Program, Database]:
+    """Parse and verify one checkpoint; raises :class:`CodecError` when it
+    is torn, bit-flipped, incomplete or otherwise untrustworthy."""
+    path = Path(path)
+    named_version = checkpoint_version(path)
+    text = path.read_text(encoding="ascii", errors="surrogateescape")
+    lines = [l for l in text.split("\n") if l]
+    if not lines:
+        raise CodecError(f"checkpoint {path.name} is empty")
+    records = []
+    for i, line in enumerate(lines):
+        try:
+            records.append(decode_record(line))
+        except CodecError as exc:
+            raise CodecError(
+                f"checkpoint {path.name}:{i + 1}: {exc}"
+            ) from exc
+    kind, header = records[0]
+    if kind != KIND_CKPT_HEADER or not isinstance(header, dict):
+        raise CodecError(
+            f"checkpoint {path.name} does not start with a header record"
+        )
+    version = header.get("version")
+    n_facts = header.get("facts")
+    mode = header.get("mode")
+    if not isinstance(version, int) or not isinstance(n_facts, int):
+        raise CodecError(f"checkpoint {path.name} header is malformed")
+    if named_version is not None and named_version != version:
+        raise CodecError(
+            f"checkpoint {path.name} claims version {version}; "
+            "file name disagrees"
+        )
+    if mode not in (MODE_LPS, MODE_ELPS):
+        raise CodecError(f"checkpoint {path.name} has unknown mode {mode!r}")
+    kind, footer = records[-1]
+    if kind != KIND_CKPT_FOOTER or footer.get("facts") != n_facts:
+        raise CodecError(
+            f"checkpoint {path.name} is incomplete (missing or "
+            "inconsistent footer)"
+        )
+    body = records[1:-1]
+    if len(body) != n_facts:
+        raise CodecError(
+            f"checkpoint {path.name} holds {len(body)} fact records, "
+            f"header promises {n_facts}"
+        )
+    program = decode_program(header.get("program"))
+    if program.mode != mode:
+        raise CodecError(
+            f"checkpoint {path.name}: stored program mode {program.mode!r} "
+            f"disagrees with header mode {mode!r}"
+        )
+    db = Database()
+    for kind, data in body:
+        if kind != KIND_CKPT_FACT or not isinstance(data, dict):
+            raise CodecError(
+                f"checkpoint {path.name} has a stray {kind!r} record in "
+                "its fact section"
+            )
+        db.add_atom(decode_atom(data.get("atom")))
+    return version, program, db
+
+
+def clean_temp_files(directory: Path) -> list[Path]:
+    """Remove leftovers of checkpoints that crashed before their rename."""
+    removed = []
+    for p in Path(directory).glob(f"{CHECKPOINT_PREFIX}*{TMP_SUFFIX}"):
+        p.unlink()
+        removed.append(p)
+        logger.info("removed unfinished checkpoint temp file %s", p.name)
+    return removed
+
+
+def _fsync_dir(directory: Path) -> None:
+    fd = os.open(directory, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(fd)

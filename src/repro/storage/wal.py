@@ -1,0 +1,277 @@
+"""Append-only write-ahead log of committed delta batches.
+
+Layout: a data directory holds numbered **segments** ``wal-%016d.log``,
+named by the version of their first record.  Records are the JSON-lines
+frames of :mod:`repro.storage.codec`, one per line, with strictly
+increasing ``version`` fields across the whole log.  Three kinds ride in
+the WAL:
+
+* ``delta``    — one committed batch: ``{version, adds, dels}`` with atoms
+  in concrete syntax (sorted, so records are deterministic);
+* ``program``  — a program replacement: ``{version, source}``;
+* ``abort``    — a tombstone: the *previous* record with the same version
+  was logged but its application failed before publication; replay skips
+  the pair (see :meth:`repro.storage.durable.DurableModel.apply_delta`).
+
+Durability contract.  :meth:`append` returns only after the line is
+written and — under the default ``fsync="always"`` policy — flushed to
+stable storage, so a batch acknowledged to a client survives any later
+crash.  ``fsync="never"`` leaves flushing to the OS (fast, survives
+process death but not power loss); both policies keep the byte stream
+identical, only the moment of stability differs.
+
+Crash anatomy.  A crash can only tear the **final** record (single
+appender, append-only file): recovery treats an undecodable suffix after
+the last complete record as torn, moves the bytes to a
+``*.quarantine-<n>`` sidecar (never silently discarded), truncates the
+segment, and logs what it did.  An undecodable record *before* a decodable
+one cannot be produced by a crash — that is corruption, and recovery
+refuses with :class:`~repro.storage.codec.RecoveryError` rather than
+serve a model missing an acknowledged batch.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+from pathlib import Path
+from typing import Any, Iterable, Optional
+
+from ..core.atoms import Atom
+from .codec import (
+    KIND_ABORT,
+    KIND_DELTA,
+    KIND_PROGRAM,
+    CodecError,
+    RecoveryError,
+    decode_record,
+    encode_atoms,
+    encode_record,
+)
+
+logger = logging.getLogger("repro.storage")
+
+SEGMENT_PREFIX = "wal-"
+SEGMENT_SUFFIX = ".log"
+
+#: fsync policies.
+FSYNC_ALWAYS = "always"
+FSYNC_NEVER = "never"
+
+
+def _segment_name(version: int) -> str:
+    return f"{SEGMENT_PREFIX}{version:016d}{SEGMENT_SUFFIX}"
+
+
+def _segment_version(path: Path) -> Optional[int]:
+    name = path.name
+    if not (name.startswith(SEGMENT_PREFIX) and name.endswith(SEGMENT_SUFFIX)):
+        return None
+    digits = name[len(SEGMENT_PREFIX):-len(SEGMENT_SUFFIX)]
+    return int(digits) if digits.isdigit() else None
+
+
+class WriteAheadLog:
+    """Segmented append-only log in one directory (single appender)."""
+
+    def __init__(
+        self,
+        directory: os.PathLike | str,
+        fsync: str = FSYNC_ALWAYS,
+        segment_max_bytes: int = 1 << 20,
+    ) -> None:
+        if fsync not in (FSYNC_ALWAYS, FSYNC_NEVER):
+            raise ValueError(f"unknown fsync policy {fsync!r}")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.fsync = fsync
+        self.segment_max_bytes = segment_max_bytes
+        self._file = None          # open append handle for the active segment
+        self._active: Optional[Path] = None
+
+    # -- inventory ---------------------------------------------------------------
+
+    def segments(self) -> list[Path]:
+        """All segment files, oldest first."""
+        out = [
+            p for p in self.directory.iterdir()
+            if _segment_version(p) is not None
+        ]
+        return sorted(out, key=lambda p: _segment_version(p))
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.records())
+
+    # -- appending ---------------------------------------------------------------
+
+    def append_delta(
+        self, version: int, adds: Iterable[Atom], dels: Iterable[Atom]
+    ) -> None:
+        """Log one committed batch; returns once it is durable."""
+        self._append(KIND_DELTA, version, {
+            "version": version,
+            "adds": encode_atoms(adds),
+            "dels": encode_atoms(dels),
+        })
+
+    def append_program(self, version: int, source: str) -> None:
+        """Log a program replacement publishing ``version``."""
+        self._append(KIND_PROGRAM, version, {
+            "version": version, "source": source,
+        })
+
+    def append_abort(self, version: int) -> None:
+        """Tombstone: the record logged for ``version`` was never applied."""
+        self._append(KIND_ABORT, version, {"version": version})
+
+    def _append(self, kind: str, version: int, data: dict) -> None:
+        line = encode_record(kind, data) + "\n"
+        f = self._handle(version, len(line))
+        f.write(line)
+        f.flush()
+        if self.fsync == FSYNC_ALWAYS:
+            os.fsync(f.fileno())
+
+    def _handle(self, version: int, incoming: int):
+        """The active segment's append handle, rotating when full."""
+        if self._file is None:
+            existing = self.segments()
+            if existing:
+                self._active = existing[-1]
+            else:
+                self._active = self.directory / _segment_name(version)
+            self._file = self._reopen_text(self._active)
+        if (
+            self._file.tell() > 0
+            and self._file.tell() + incoming > self.segment_max_bytes
+        ):
+            self.close()
+            self._active = self.directory / _segment_name(version)
+            self._file = self._reopen_text(self._active)
+        return self._file
+
+    @staticmethod
+    def _reopen_text(path: Path):
+        f = open(path, "a", encoding="ascii", newline="\n")
+        f.seek(0, os.SEEK_END)
+        return f
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.flush()
+            if self.fsync == FSYNC_ALWAYS:
+                os.fsync(self._file.fileno())
+            self._file.close()
+            self._file = None
+
+    # -- reading / recovery ------------------------------------------------------
+
+    def records(self) -> list[tuple[str, Any]]:
+        """Decode every record, strict: any undecodable line raises."""
+        out: list[tuple[str, Any]] = []
+        for seg in self.segments():
+            for i, line in enumerate(self._lines(seg)):
+                try:
+                    out.append(decode_record(line))
+                except CodecError as exc:
+                    raise RecoveryError(
+                        f"corrupt WAL record {seg.name}:{i + 1}: {exc}"
+                    ) from exc
+        return out
+
+    def recover_records(self) -> list[tuple[str, Any]]:
+        """Decode the log for recovery, repairing a torn tail.
+
+        A decode failure on the **last line of the last segment** is the
+        crash signature: the bytes are moved to a quarantine sidecar, the
+        segment truncated to its last complete record, and the surviving
+        records returned.  A failure anywhere else is corruption and
+        raises :class:`RecoveryError` — an acknowledged batch would be
+        missing from the replayed state.
+        """
+        segments = self.segments()
+        out: list[tuple[str, Any]] = []
+        for seg_idx, seg in enumerate(segments):
+            raw = seg.read_bytes()
+            lines = raw.split(b"\n")
+            # A well-formed segment ends with a newline, so the final
+            # split element is empty; anything else is a torn tail.
+            complete, tail = lines[:-1], lines[-1]
+            good_bytes = 0
+            for i, bline in enumerate(complete):
+                is_final_line = (
+                    seg_idx == len(segments) - 1
+                    and i == len(complete) - 1
+                    and not tail
+                )
+                try:
+                    text = bline.decode("ascii")
+                    rec = decode_record(text)
+                except (CodecError, UnicodeDecodeError) as exc:
+                    if is_final_line:
+                        # Complete line, bad payload, at the very end:
+                        # indistinguishable from a torn write that happened
+                        # to stop after a stray newline — quarantine it.
+                        tail = bline
+                        break
+                    raise RecoveryError(
+                        f"corrupt WAL record {seg.name}:{i + 1} is not the "
+                        f"final record; refusing to recover past it: {exc}"
+                    ) from exc
+                out.append(rec)
+                good_bytes += len(bline) + 1
+            if tail:
+                if seg_idx != len(segments) - 1:
+                    raise RecoveryError(
+                        f"segment {seg.name} has a torn tail but is not the "
+                        "final segment; the log is corrupt"
+                    )
+                self._quarantine(seg, raw, good_bytes)
+        return out
+
+    def _quarantine(self, seg: Path, raw: bytes, good_bytes: int) -> None:
+        """Move the torn suffix to a sidecar and truncate the segment."""
+        n = 0
+        while True:
+            sidecar = seg.with_name(f"{seg.name}.quarantine-{n}")
+            if not sidecar.exists():
+                break
+            n += 1
+        sidecar.write_bytes(raw[good_bytes:])
+        with open(seg, "r+b") as f:
+            f.truncate(good_bytes)
+            f.flush()
+            os.fsync(f.fileno())
+        logger.warning(
+            "WAL %s: torn final record (%d trailing bytes) quarantined to "
+            "%s; recovering through the last complete record",
+            seg.name, len(raw) - good_bytes, sidecar.name,
+        )
+
+    @staticmethod
+    def _lines(seg: Path) -> list[str]:
+        text = seg.read_text(encoding="ascii", errors="surrogateescape")
+        return [l for l in text.split("\n") if l]
+
+    # -- truncation ---------------------------------------------------------------
+
+    def truncate_through(self, version: int) -> list[Path]:
+        """Delete whole segments containing only records ``<= version``.
+
+        Segment boundaries are version-aligned (a segment covers versions
+        from its own first version up to the next segment's first version,
+        exclusive), so a segment is removable exactly when the *next*
+        segment starts at or below ``version + 1``.  The active (last)
+        segment is never removed.  Returns the deleted paths.
+        """
+        segments = self.segments()
+        removed: list[Path] = []
+        for seg, nxt in zip(segments, segments[1:]):
+            if _segment_version(nxt) <= version + 1:
+                seg.unlink()
+                removed.append(seg)
+                logger.info("WAL %s truncated (covered by checkpoint at "
+                            "version %d)", seg.name, version)
+            else:
+                break
+        return removed

@@ -354,6 +354,73 @@ def mixed_traffic(
     return TrafficPlan(reader_streams=readers, writer_batches=batches)
 
 
+#: The program every crash-recovery plan runs: transitive closure plus a
+#: stratified-negation stratum, a grouping stratum and a set-membership
+#: rule — one rule per maintenance plan class (DRed / recompute /
+#: counting), so recovery replay exercises all of them.
+CRASH_RECOVERY_PROGRAM = """\
+t(X, Y) :- e(X, Y).
+t(X, Z) :- e(X, Y), t(Y, Z).
+dead(X) :- n(X), not t(X, X).
+succ(X, <Y>) :- e(X, Y).
+mem(X) :- sf(S), X in S.
+"""
+
+
+@dataclass(frozen=True)
+class CrashRecoveryPlan:
+    """A deterministic durable-write schedule with designated crash points.
+
+    ``program`` + ``initial_facts`` seed the durable store;
+    ``batches[i]`` is the i-th committed delta; ``crash_after`` lists the
+    batch indices after which the driver simulates a crash (kill the
+    process / truncate the WAL) and recovers before continuing.  All
+    derived from the seed, so a recovery failure reproduces exactly.
+    """
+
+    program: str
+    initial_facts: tuple[tuple, ...]
+    batches: tuple[ChurnBatch, ...]
+    crash_after: tuple[int, ...]
+
+
+def crash_recovery(
+    n_nodes: int = 12,
+    n_edges: int = 24,
+    n_batches: int = 16,
+    batch_size: int = 2,
+    n_crashes: int = 3,
+    n_sets: int = 4,
+    seed: int = 0,
+) -> CrashRecoveryPlan:
+    """Edge churn over :data:`CRASH_RECOVERY_PROGRAM` with crash points.
+
+    The fact base mixes the ``e``/``n`` scalar relations with ``sf`` set
+    facts, so WAL records and checkpoints carry set terms; crash points
+    are drawn without replacement from the batch indices.
+    """
+    rng = random.Random(seed)
+    edges = random_graph(n_nodes, n_edges, seed=seed)
+    initial = [("e", u, v) for u, v in edges]
+    initial += [("n", f"v{i}") for i in range(0, n_nodes, 3)]
+    for s in random_sets(n_sets, n_nodes, min_size=1, max_size=4,
+                         seed=seed + 1):
+        initial.append(("sf", frozenset(f"v{i}" for i in s)))
+    batches = edge_churn(
+        edges, n_batches=n_batches, batch_size=batch_size,
+        n_nodes=n_nodes, seed=seed + 2,
+    )
+    crash_after = tuple(sorted(rng.sample(
+        range(n_batches), min(n_crashes, n_batches)
+    )))
+    return CrashRecoveryPlan(
+        program=CRASH_RECOVERY_PROGRAM,
+        initial_facts=tuple(initial),
+        batches=tuple(batches),
+        crash_after=crash_after,
+    )
+
+
 def number_set(n: int, seed: int = 0) -> frozenset[int]:
     """``n`` distinct positive integers (for the Example 5 sum benchmark)."""
     rng = random.Random(seed)

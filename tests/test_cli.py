@@ -180,3 +180,80 @@ class TestReplServiceParity:
         assert main(["repl"]) == 0
         out = capsys.readouterr().out
         assert "2 queries" in out
+
+
+class TestReplDurability:
+    """The REPL's :save/:open commands and the --data-dir flag."""
+
+    def test_save_then_open_then_data_dir(self, monkeypatch, capsys,
+                                          tmp_path):
+        store = str(tmp_path / "store")
+        lines = iter([
+            "t(X, Y) :- e(X, Y).",
+            "t(X, Z) :- e(X, Y), t(Y, Z).",
+            "+e(a, b).",
+            f":save {store}",
+            ":quit",
+        ])
+        monkeypatch.setattr("builtins.input", lambda prompt="": next(lines))
+        assert main(["repl"]) == 0
+        assert "saved" in capsys.readouterr().out
+
+        # :open recovers the store in a fresh REPL; new writes are durable.
+        lines = iter([
+            f":open {store}",
+            "?- t(a, X).",
+            "+e(b, c).",
+            ":quit",
+        ])
+        monkeypatch.setattr("builtins.input", lambda prompt="": next(lines))
+        assert main(["repl"]) == 0
+        out = capsys.readouterr().out
+        assert "opened" in out
+        assert "X = b" in out
+
+        # --data-dir recovers everything, including the post-:open write.
+        lines = iter(["?- t(a, X).", ":quit"])
+        monkeypatch.setattr("builtins.input", lambda prompt="": next(lines))
+        assert main(["repl", "--data-dir", store]) == 0
+        out = capsys.readouterr().out
+        assert "X = b" in out
+        assert "X = c" in out
+
+    def test_save_checkpoints_own_store_under_any_spelling(
+        self, monkeypatch, capsys, tmp_path
+    ):
+        """:save on the session's own data dir is a checkpoint even when
+        the path is spelled differently (./store vs store)."""
+        store = tmp_path / "store"
+        alt = str(store) + "/"        # same directory, different spelling
+        lines = iter(["+e(a, b).", f":save {alt}", ":quit"])
+        monkeypatch.setattr("builtins.input", lambda prompt="": next(lines))
+        assert main(["repl", "--data-dir", str(store)]) == 0
+        captured = capsys.readouterr()
+        assert "saved" in captured.out
+        assert "already holds" not in captured.err
+
+    def test_save_requires_a_directory(self, monkeypatch, capsys):
+        lines = iter([":save", ":open", ":quit"])
+        monkeypatch.setattr("builtins.input", lambda prompt="": next(lines))
+        assert main(["repl"]) == 0
+        err = capsys.readouterr().err
+        assert "usage: :save DIR" in err
+        assert "usage: :open DIR" in err
+
+    def test_save_refusal_is_reported_not_fatal(self, monkeypatch, capsys,
+                                                tmp_path):
+        store = str(tmp_path / "store")
+        lines = iter([
+            "p(a).",
+            f":save {store}",
+            f":save {store}",     # second save: refused, REPL keeps going
+            "?- p(a).",
+            ":quit",
+        ])
+        monkeypatch.setattr("builtins.input", lambda prompt="": next(lines))
+        assert main(["repl"]) == 0
+        captured = capsys.readouterr()
+        assert "already holds durable state" in captured.err
+        assert "true" in captured.out
