@@ -1,0 +1,225 @@
+"""B-replication — read fan-out scaling and per-commit replication lag.
+
+The replication claim: follower reads add *real* capacity, because each
+follower is a separate process evaluating queries against its own
+replicated model.  That makes the scaling benchmark GIL-honest by
+construction — the leader and every follower here is a genuine
+``lps serve`` subprocess, so aggregate read throughput can exceed what
+any single Python process could serve.  ``test_fanout_floor`` enforces
+the acceptance criterion (≥2× aggregate reads with 3 followers vs
+leader-only); the ``benchmark`` cases record the actual numbers in
+BENCH_results.json under the ``replication`` label (see
+``run_benchmarks.py``).
+
+The second metric is **replication lag per commit**: the time from a
+locally-acknowledged write on the leader to the follower having durably
+applied it, measured in-process (where the applied high-water mark is
+observable without polling noise) over a churn run.
+"""
+
+import os
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.replication import FollowerService, ReplicationHub
+from repro.server import LineClient, QueryService
+from repro.workloads import edge_churn, random_graph
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+TC_SOURCE = """
+t(X, Y) :- e(X, Y).
+t(X, Z) :- e(X, Y), t(Y, Z).
+"""
+
+N_NODES = 24
+N_EDGES = 60
+READER_THREADS = 6
+QUERIES_PER_THREAD = 12
+#: The enumeration each read performs — the full transitive closure, so
+#: per-request work is server-side evaluation + serialization, not I/O.
+READ_GOAL = "t(X, Y)"
+
+
+def _spawn(args, tmp_path):
+    env = dict(os.environ, PYTHONPATH="src")
+    proc = subprocess.Popen(
+        [sys.executable, "-u", "-m", "repro.repl.cli", *args],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, cwd=REPO_ROOT, env=env,
+    )
+    deadline = time.monotonic() + 60
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            raise RuntimeError(
+                f"server process exited (rc={proc.poll()})"
+            )
+        if "listening on" in line:
+            return proc, line.rsplit(" ", 1)[-1].strip()
+    raise RuntimeError("server never reported its address")
+
+
+def _cluster(tmp_path, n_followers):
+    """Spawn a leader subprocess (seeded with the graph) + N follower
+    subprocesses, each a separate OS process with its own data dir."""
+    prog = tmp_path / "prog.lps"
+    prog.write_text(TC_SOURCE)
+    procs = []
+    leader_proc, leader_addr = _spawn(
+        ["serve", str(prog), "--host", "127.0.0.1", "--port", "0",
+         "--data-dir", str(tmp_path / "leader"), "--fsync", "never"],
+        tmp_path,
+    )
+    procs.append(leader_proc)
+    host, port = leader_addr.rsplit(":", 1)
+    with LineClient(host, int(port), timeout=30.0) as c:
+        c.send(":begin")
+        for u, v in random_graph(N_NODES, N_EDGES, seed=7):
+            c.send(f"+e({u}, {v}).")
+        latest = c.send(":commit").version
+    follower_addrs = []
+    for i in range(n_followers):
+        fproc, faddr = _spawn(
+            ["serve", "--host", "127.0.0.1", "--port", "0",
+             "--follow", leader_addr,
+             "--data-dir", str(tmp_path / f"f{i}"), "--fsync", "never"],
+            tmp_path,
+        )
+        procs.append(fproc)
+        follower_addrs.append(faddr)
+    for faddr in follower_addrs:          # wait for full catch-up
+        fhost, fport = faddr.rsplit(":", 1)
+        with LineClient(fhost, int(fport), timeout=30.0) as c:
+            r = c.send(f":sync {latest} 60")
+            assert r.ok, r.error
+    return procs, leader_addr, follower_addrs
+
+
+def _teardown(procs):
+    for proc in procs:
+        proc.kill()
+    for proc in procs:
+        proc.wait(timeout=10)
+        proc.stdout.close()
+
+
+def _aggregate_reads(endpoints):
+    """Drive READER_THREADS client threads round-robin over the
+    endpoints; returns (wall seconds, total queries served)."""
+    errors: list = []
+
+    def reader(idx):
+        addr = endpoints[idx % len(endpoints)]
+        host, port = addr.rsplit(":", 1)
+        try:
+            with LineClient(host, int(port), timeout=60.0) as client:
+                for _ in range(QUERIES_PER_THREAD):
+                    response = client.query(READ_GOAL)
+                    assert response.ok and response.data["rows"]
+        except Exception as exc:  # pragma: no cover
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=reader, args=(i,))
+        for i in range(READER_THREADS)
+    ]
+    t0 = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - t0
+    assert not errors, errors
+    return wall, READER_THREADS * QUERIES_PER_THREAD
+
+
+@pytest.mark.parametrize("n_followers", [0, 3])
+def test_read_fanout_throughput(benchmark, tmp_path, n_followers):
+    """Aggregate read throughput, leader-only vs fanned out over three
+    follower processes.  Throughput is ``queries / time``; compare the
+    0- and 3-follower rows to read off the scaling factor."""
+    procs, leader_addr, follower_addrs = _cluster(tmp_path, n_followers)
+    try:
+        endpoints = follower_addrs or [leader_addr]
+        wall, n_q = benchmark(_aggregate_reads, endpoints)
+        assert n_q == READER_THREADS * QUERIES_PER_THREAD
+    finally:
+        _teardown(procs)
+
+
+@pytest.mark.skipif(
+    os.environ.get("SKIP_TIMING_ASSERTS") == "1",
+    reason="wall-clock assertion disabled (coverage-instrumented CI job; "
+           "the dedicated benchmarks job still enforces it)",
+)
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 4,
+    reason="read fan-out needs ≥4 cores to demonstrate process scaling",
+)
+def test_fanout_floor(tmp_path):
+    """Acceptance floor: ≥2× aggregate read throughput with 3 follower
+    processes vs the leader alone, same client pressure."""
+    procs, leader_addr, follower_addrs = _cluster(tmp_path, 3)
+    try:
+        solo_wall, n_q = _aggregate_reads([leader_addr])
+        fan_wall, _ = _aggregate_reads(follower_addrs)
+        solo_tput = n_q / solo_wall
+        fan_tput = n_q / fan_wall
+        assert fan_tput >= 2.0 * solo_tput, (
+            f"read fan-out gained only {fan_tput / solo_tput:.2f}x "
+            f"({solo_tput:.0f} -> {fan_tput:.0f} q/s) with 3 followers; "
+            "the acceptance floor is 2x"
+        )
+    finally:
+        _teardown(procs)
+
+
+def _lag_run(svc, follower, batches):
+    """Apply each batch on the leader, then wait for the follower to
+    durably apply it; returns the per-commit lag samples."""
+    lags = []
+    for batch in batches:
+        t0 = time.perf_counter()
+        snap = svc.apply_delta(adds=batch.adds, dels=batch.dels)
+        assert follower.wait_applied(snap.version, timeout=30)
+        lags.append(time.perf_counter() - t0)
+    return lags
+
+
+def test_replication_lag_per_commit(benchmark, tmp_path):
+    """Commit-to-applied lag under churn: each sample covers WAL append
+    + shipping + follower replay + the follower's own WAL append."""
+    svc = QueryService(
+        TC_SOURCE, data_dir=tmp_path / "leader", fsync="never",
+        checkpoint_every=None,
+    )
+    ReplicationHub.attach(svc)
+    from repro.server import run_in_thread
+
+    handle = run_in_thread(svc)
+    follower = FollowerService(
+        handle.addr, tmp_path / "f", fsync="never",
+        checkpoint_every=None, read_timeout=0.25, backoff_initial=0.02,
+    )
+    follower.start()
+    batches = edge_churn(
+        random_graph(N_NODES, N_EDGES, seed=7),
+        n_batches=20, batch_size=2, n_nodes=N_NODES, seed=3,
+    )
+    try:
+        svc.apply_delta(adds=[
+            ("e", u, v) for u, v in random_graph(N_NODES, N_EDGES, seed=7)
+        ])
+        lags = benchmark(_lag_run, svc, follower, batches)
+        assert len(lags) == len(batches)
+        assert max(lags) < 30.0
+    finally:
+        follower.stop()
+        handle.stop()
+        svc.shutdown()

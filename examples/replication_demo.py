@@ -1,0 +1,98 @@
+"""Replication & failover, end to end: leader + 2 followers, kill,
+promote, re-query.
+
+Starts a durable leader serving the line protocol, attaches two
+followers — each tailing the leader's WAL into its own data directory —
+and drives writes through a :class:`ReplicaClient`, whose reads fan out
+across the followers with read-your-writes guaranteed by version tokens.
+Then the leader "dies" (a hard server stop), :func:`promote_best`
+fences the old lineage and opens the most caught-up follower for writes,
+the surviving follower retargets to the new leader, and the same client
+keeps reading — with every acknowledged write intact and versions still
+monotone.
+
+Run:  PYTHONPATH=src python examples/replication_demo.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.replication import FollowerService, ReplicaClient, promote_best
+from repro.server import QueryService, run_in_thread
+from repro.replication import ReplicationHub
+
+PROGRAM = """
+t(X, Y) :- e(X, Y).
+t(X, Z) :- e(X, Y), t(Y, Z).
+"""
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp)
+        leader = QueryService(
+            PROGRAM, data_dir=root / "leader", fsync="never",
+            ack_replicas=1,          # a write is acked once 1 follower has it
+        )
+        ReplicationHub.attach(leader)
+        leader_handle = run_in_thread(leader)
+        print(f"leader on {leader_handle.addr} "
+              f"(epoch {leader.model.epoch})")
+
+        followers = {}
+        handles = {}
+        for name in ("f1", "f2"):
+            f = FollowerService(
+                leader_handle.addr, root / name, fsync="never",
+                read_timeout=0.5, backoff_initial=0.05,
+            )
+            followers[name] = f
+            handles[name] = run_in_thread(f.start())
+            print(f"follower {name} on {handles[name].addr} "
+                  f"(applied v{f.model.version})")
+
+        client = ReplicaClient(
+            leader_handle.addr,
+            [handles[n].addr for n in followers],
+        )
+        for u, v in [("a", "b"), ("b", "c"), ("c", "d"), ("d", "e")]:
+            r = client.assert_fact(f"e({u}, {v})")
+            assert r.ok, r.error
+        print(f"wrote 4 edges, write token v{client.last_write_version}")
+        r = client.read("t(a, X)")      # served by a follower, synced
+        reach = sorted(row["X"] for row in r.data["rows"])
+        print(f"reachable from a (follower read, v{r.version}): {reach}")
+
+        # -- the leader dies ------------------------------------------------
+        leader_handle.stop()
+        leader.shutdown()
+        print("\nleader killed")
+
+        best, role = promote_best([handles[n].addr for n in followers])
+        print(f"promoted {best[0]}:{best[1]}: role={role['role']} "
+              f"version={role['version']} epoch={role['epoch']}")
+        promoted = next(
+            n for n in followers
+            if (handles[n].host, handles[n].port) == best
+        )
+        survivor = next(n for n in followers if n != promoted)
+        followers[survivor].retarget(best)
+        client.set_leader(best)
+
+        r = client.assert_fact("e(e, f)")
+        assert r.ok, r.error
+        r = client.read("t(a, X)")
+        reach = sorted(row["X"] for row in r.data["rows"])
+        print(f"post-failover reach from a (v{r.version}): {reach}")
+        assert "f" in reach and r.version > client.last_write_version - 1
+
+        for n in followers:
+            handles[n].stop()
+            followers[n].stop()
+        client.close()
+        print("\nevery acknowledged write survived the failover; "
+              "versions never regressed")
+
+
+if __name__ == "__main__":
+    main()

@@ -5,7 +5,11 @@ Usage::
     lps run PROGRAM.lps            evaluate and print the model
     lps query PROGRAM.lps 'p(X)'   evaluate, then print query bindings
     lps repl [PROGRAM.lps]         interactive loop
-    lps serve [PROGRAM.lps]        line-protocol TCP server (--host/--port)
+    lps serve [PROGRAM.lps]        line-protocol TCP server (--host/--port);
+                                   --data-dir makes it durable + replicable,
+                                   --follow HOST:PORT runs it as a follower
+    lps ctl status ADDR...         role/version/epoch of each server
+    lps ctl promote ADDR...        fail over to the most caught-up follower
 
 The REPL is a **thin client of the query-service session API**
 (:mod:`repro.server`): it owns one
@@ -239,22 +243,50 @@ def cmd_repl(path: Optional[str], data_dir: Optional[str] = None) -> int:
 def cmd_serve(
     path: Optional[str], host: str, port: int,
     data_dir: Optional[str] = None,
+    follow: Optional[str] = None,
+    ack_replicas: int = 0,
+    fsync: str = "always",
 ) -> int:
-    """Serve the line protocol over TCP until interrupted."""
+    """Serve the line protocol over TCP until interrupted.
+
+    With ``--data-dir`` the server is durable *and replicable*: followers
+    may subscribe with ``:repl from N``.  With ``--follow HOST:PORT`` it
+    runs as a read-only follower of that leader instead (``--data-dir``
+    required — a follower is independently crash-recoverable), serving
+    reads at its applied version until promoted with ``lps ctl promote``.
+    """
     import asyncio
 
     from ..server.protocol import serve
 
-    source = ""
-    if path:
-        with open(path) as f:
-            source = f.read()
-    service = QueryService(
-        source if source.strip() else None, data_dir=data_dir
-    )
-    if data_dir:
-        print(f"durable state in {data_dir} "
-              f"(recovered at version {service.model.version})")
+    follower = None
+    if follow:
+        if not data_dir:
+            print("error: --follow requires --data-dir", file=sys.stderr)
+            return 2
+        from ..replication import FollowerService
+
+        follower = FollowerService(follow, data_dir, fsync=fsync)
+        service = follower.start()
+        print(f"following {follow} "
+              f"(applied version {service.model.version})")
+    else:
+        source = ""
+        if path:
+            with open(path) as f:
+                source = f.read()
+        service = QueryService(
+            source if source.strip() else None, data_dir=data_dir,
+            fsync=fsync, ack_replicas=ack_replicas,
+        )
+        if data_dir:
+            from ..replication import ReplicationHub
+
+            ReplicationHub.attach(service)
+            print(f"durable state in {data_dir} "
+                  f"(recovered at version {service.model.version}, "
+                  f"epoch {getattr(service.model, 'epoch', 0)}; "
+                  "replication enabled)")
 
     async def main() -> None:
         server = await serve(service, host, port)
@@ -268,7 +300,53 @@ def cmd_serve(
     except KeyboardInterrupt:
         pass
     finally:
-        service.shutdown()
+        if follower is not None:
+            follower.stop()
+        else:
+            service.shutdown()
+    return 0
+
+
+def cmd_ctl(action: str, addrs: list[str]) -> int:
+    """Operate a running deployment: ``status`` and ``promote``."""
+    from ..replication import promote_best
+    from ..replication.follower import _parse_addr
+    from ..server.protocol import LineClient
+
+    if action == "status":
+        failures = 0
+        for addr in addrs:
+            s_host, s_port = _parse_addr(addr)
+            try:
+                with LineClient(s_host, s_port, timeout=5.0) as client:
+                    response = client.send(":role")
+            except (ConnectionError, OSError) as exc:
+                print(f"{addr}: unreachable ({exc})")
+                failures += 1
+                continue
+            data = response.data if response.ok and \
+                isinstance(response.data, dict) else {}
+            line = (f"{addr}: role={data.get('role')} "
+                    f"version={data.get('version')} "
+                    f"epoch={data.get('epoch')}")
+            if data.get("role") == "follower":
+                line += (f" leader={data.get('leader')} "
+                         f"connected={data.get('connected')} "
+                         f"fenced={data.get('fenced')}")
+            repl = data.get("replication")
+            if repl:
+                line += (f" replicas={repl.get('replicas')} "
+                         f"acked={repl.get('acked')}")
+            print(line)
+        return 1 if failures == len(addrs) else 0
+    # promote: pick the most caught-up reachable follower.
+    try:
+        best, role = promote_best(addrs)
+    except (ConnectionError, LPSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"promoted {best[0]}:{best[1]} "
+          f"(version {role.get('version')}, epoch {role.get('epoch')})")
     return 0
 
 
@@ -291,7 +369,22 @@ def main(argv: Optional[list[str]] = None) -> int:
     p_serve.add_argument("--port", type=int, default=4712)
     p_serve.add_argument("--data-dir", default=None,
                          help="durable state directory; commits are "
-                              "WAL-logged before they are acknowledged")
+                              "WAL-logged before they are acknowledged "
+                              "(also enables replication)")
+    p_serve.add_argument("--follow", default=None, metavar="HOST:PORT",
+                         help="run as a read-only follower replicating "
+                              "from this leader (requires --data-dir)")
+    p_serve.add_argument("--ack-replicas", type=int, default=0,
+                         help="leader only: acknowledge a write after "
+                              "this many followers confirmed it durable")
+    p_serve.add_argument("--fsync", choices=["always", "never"],
+                         default="always",
+                         help="WAL fsync policy (default: always)")
+    p_ctl = sub.add_parser(
+        "ctl", help="operate a running deployment (status / promote)"
+    )
+    p_ctl.add_argument("action", choices=["status", "promote"])
+    p_ctl.add_argument("addrs", nargs="+", metavar="HOST:PORT")
     args = parser.parse_args(argv)
     try:
         if args.command == "run":
@@ -299,7 +392,13 @@ def main(argv: Optional[list[str]] = None) -> int:
         if args.command == "query":
             return cmd_query(args.path, args.query)
         if args.command == "serve":
-            return cmd_serve(args.path, args.host, args.port, args.data_dir)
+            return cmd_serve(
+                args.path, args.host, args.port, args.data_dir,
+                follow=args.follow, ack_replicas=args.ack_replicas,
+                fsync=args.fsync,
+            )
+        if args.command == "ctl":
+            return cmd_ctl(args.action, args.addrs)
         return cmd_repl(args.path, args.data_dir)
     except LPSError as exc:
         print(f"error: {exc}", file=sys.stderr)

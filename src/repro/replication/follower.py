@@ -1,0 +1,562 @@
+"""Follower side: tail the leader's WAL stream into a local durable model.
+
+A :class:`FollowerService` owns three things:
+
+* a **DurableModel of its own** — every shipped record is re-logged into
+  the follower's data directory before its version is published locally,
+  so a follower crash recovers exactly like a leader crash (same code
+  path), and a recovered follower resumes the stream from its durable
+  applied version, not from zero;
+* the **tail loop** — a daemon thread that connects to the leader, sends
+  ``:repl from <applied>``, replays each frame through
+  ``MaterializedModel.apply_delta`` (the maintenance engine, not a second
+  evaluation path), acks every applied version, and reconnects with
+  exponential backoff + jitter when the stream drops.  Redelivered
+  records (``version <= applied``) are skipped, so a torn stream plus
+  reconnect is idempotent;
+* a read-only :class:`~repro.server.service.QueryService` — sessions are
+  :class:`FollowerSession`: writes come back ``read_only`` with the
+  leader's address, and ``:at N`` beyond the applied high-water mark is
+  the *retryable* ``not_yet_applied`` (the version may exist upstream).
+
+**Fencing.**  The follower tracks the leader's epoch from the stream.  A
+record carrying a *lower* epoch than the follower has durably seen raises
+:class:`~repro.storage.durable.FencingError` and stops the tail loop for
+good — that is the deposed leader trying to extend a fenced lineage.
+:meth:`FollowerService.promote` is the other side: stop tailing, bump the
+local epoch past anything the old leader ever announced, attach a
+:class:`~repro.replication.hub.ReplicationHub`, and open for writes.
+Version numbers continue monotonically from the applied high-water mark.
+"""
+
+from __future__ import annotations
+
+import logging
+import select
+import socket
+import threading
+import time
+from pathlib import Path
+from typing import Optional, Union
+
+from ..engine.database import Database
+from ..engine.evaluation import EvalOptions
+from ..engine.setops import with_set_builtins
+from ..server.protocol import Backoff
+from ..server.service import QueryService
+from ..server.session import E_NOT_YET, E_READ_ONLY, Response, Session
+from ..storage.codec import (
+    KIND_DELTA,
+    KIND_EPOCH,
+    KIND_PROGRAM,
+    KIND_REPL_HELLO,
+    KIND_REPL_SNAPSHOT,
+    CodecError,
+    StorageError,
+    decode_atom,
+    decode_atoms,
+    decode_program,
+    decode_record,
+)
+from ..storage.durable import DurableModel, FencingError, has_state
+from ..storage.wal import FSYNC_ALWAYS
+
+logger = logging.getLogger("repro.replication")
+
+
+class ReplicationError(StorageError):
+    """The replication stream violated its protocol (gap, bad frame,
+    refused subscription, divergent replay).  Recoverable by reconnecting
+    — unlike :class:`FencingError`, which is terminal for the stream."""
+
+
+def _parse_addr(addr: Union[str, tuple]) -> tuple[str, int]:
+    if isinstance(addr, tuple):
+        return addr[0], int(addr[1])
+    host, _, port = addr.rpartition(":")
+    if not host or not port.isdigit():
+        raise ValueError(f"expected HOST:PORT, got {addr!r}")
+    return host, int(port)
+
+
+class FollowerSession(Session):
+    """Read-only session over a follower's applied state.
+
+    All divergences from the base session are structural responses: a
+    write is ``read_only`` plus the leader's address, ``:at N`` past the
+    applied high-water mark is the retryable ``not_yet_applied``, and
+    ``:promote`` triggers failover.  After promotion the hooks fall
+    through to the base behavior — existing connections become writable
+    without reconnecting.
+    """
+
+    def _follower(self) -> Optional["FollowerService"]:
+        return self._service.follower if self._service is not None else None
+
+    def _future_version(self, version: int, latest: int) -> Response:
+        if self._follower() is None:
+            return super()._future_version(version, latest)
+        with self._lock:
+            self.stats.errors += 1
+        return Response(
+            ok=False, kind="error", code=E_NOT_YET,
+            error=(
+                f"version {version} is not applied on this follower yet "
+                f"(applied up to {latest})"
+            ),
+            data={"retryable": True, "latest": latest},
+        )
+
+    def _promote(self) -> Response:
+        follower = self._follower()
+        if follower is None:
+            return super()._promote()
+        data = follower.promote()
+        return Response(
+            ok=True, kind="role", data=data, version=self._model.version
+        )
+
+
+class FollowerService:
+    """Maintain a read-only replica of a leader over the line protocol."""
+
+    def __init__(
+        self,
+        leader: Union[str, tuple],
+        data_dir: Union[str, Path],
+        builtins=None,
+        options: Optional[EvalOptions] = None,
+        keep_versions: int = 8,
+        fsync: str = FSYNC_ALWAYS,
+        checkpoint_every: Optional[int] = 512,
+        max_workers: int = 8,
+        max_batch: int = 10_000,
+        connect_timeout: float = 5.0,
+        read_timeout: float = 5.0,
+        backoff_initial: float = 0.05,
+        backoff_max: float = 2.0,
+    ) -> None:
+        self.leader_host, self.leader_port = _parse_addr(leader)
+        self.data_dir = Path(data_dir)
+        self._builtins = (
+            builtins if builtins is not None else with_set_builtins()
+        )
+        self._options = options
+        self._keep_versions = keep_versions
+        self._fsync = fsync
+        self._checkpoint_every = checkpoint_every
+        self._max_workers = max_workers
+        self._max_batch = max_batch
+        self.connect_timeout = connect_timeout
+        self.read_timeout = read_timeout
+        self._backoff = Backoff(backoff_initial, backoff_max)
+        self.model: Optional[DurableModel] = None
+        self.service: Optional[QueryService] = None
+        self.promoted = False
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        self._sock: Optional[socket.socket] = None
+        self._cond = threading.Condition()
+        self._connected = False
+        self._fenced = False
+        self._leader_epoch = 0
+        self._last_error: Optional[str] = None
+        self._promote_lock = threading.Lock()
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self, timeout: float = 30.0) -> QueryService:
+        """Recover or bootstrap, start tailing, return the read service.
+
+        Blocks until the replica holds *some* applied state: recovered
+        locally, or snapshot-bootstrapped from the leader (a fresh
+        store's initial version lives only in its checkpoint, so a new
+        follower always starts from a shipped snapshot).
+        """
+        if has_state(self.data_dir):
+            self.model = DurableModel.recover(
+                self.data_dir,
+                builtins=self._builtins,
+                options=self._options,
+                keep_versions=self._keep_versions,
+                fsync=self._fsync,
+                checkpoint_every=self._checkpoint_every,
+            )
+        self._thread = threading.Thread(
+            target=self._run, name="lps-follower", daemon=True
+        )
+        self._thread.start()
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            while self.model is None:
+                if self._fenced:
+                    raise FencingError(
+                        self._last_error or "follower was fenced"
+                    )
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._cond.wait(min(remaining, 0.1))
+        if self.model is None:
+            self.stop()
+            raise ReplicationError(
+                f"could not bootstrap from leader {self.leader_host}:"
+                f"{self.leader_port} within {timeout:g}s"
+                + (f": {self._last_error}" if self._last_error else "")
+            )
+        self.service = QueryService(
+            model=self.model,
+            max_workers=self._max_workers,
+            max_batch=self._max_batch,
+        )
+        self.service.follower = self
+        self.service.session_class = FollowerSession
+        return self.service
+
+    def stop_tailing(self) -> None:
+        """Stop the shipping thread (keeps serving reads)."""
+        self._stop.set()
+        sock = self._sock
+        if sock is not None:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+        thread = self._thread
+        if thread is not None and thread is not threading.current_thread():
+            thread.join(timeout=10.0)
+
+    def stop(self) -> None:
+        """Full shutdown: tail loop, service, durable model."""
+        self.stop_tailing()
+        if self.service is not None:
+            self.service.shutdown()        # closes the model too
+        elif self.model is not None:
+            self.model.close()
+
+    def __enter__(self) -> "FollowerService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- role --------------------------------------------------------------------
+
+    def refuse_write(self) -> Response:
+        return Response(
+            ok=False, kind="error", code=E_READ_ONLY,
+            error=(
+                "this server is a follower; send writes to the leader"
+            ),
+            data={"leader": f"{self.leader_host}:{self.leader_port}"},
+        )
+
+    def role_info(self) -> dict:
+        return {
+            "role": "follower",
+            "leader": f"{self.leader_host}:{self.leader_port}",
+            "connected": self._connected,
+            "fenced": self._fenced,
+            "leader_epoch": self._leader_epoch,
+        }
+
+    def promote(self) -> dict:
+        """Fail over: stop tailing, fence the old lineage, open writes.
+
+        The epoch is bumped past both the follower's durable epoch and
+        anything the old leader ever *announced* (hello frames), the bump
+        is WAL-logged before it takes effect, and a
+        :class:`~repro.replication.hub.ReplicationHub` is attached so
+        surviving peers can re-subscribe here.  Idempotent.
+        """
+        from .hub import ReplicationHub
+
+        with self._promote_lock:
+            if self.service is None or self.model is None:
+                raise ReplicationError(
+                    "cannot promote: the follower is not started"
+                )
+            if self.promoted:
+                return self.service.role_info()
+            self.stop_tailing()
+            new_epoch = max(self.model.epoch, self._leader_epoch) + 1
+            self.model.bump_epoch(new_epoch)
+            ReplicationHub.attach(self.service)
+            self.service.follower = None   # writes flow from here on
+            self.service.session_class = Session
+            self.promoted = True
+            logger.warning(
+                "promoted to leader at version %d epoch %d",
+                self.model.version, new_epoch,
+            )
+            return self.service.role_info()
+
+    def retarget(self, leader: Union[str, tuple]) -> None:
+        """Re-point a surviving follower at a newly promoted leader.
+
+        Drops the current stream (if any); the tail loop reconnects to
+        the new address from the follower's applied version.  The new
+        leader's higher epoch arrives as an ordinary epoch record and is
+        adopted durably — while any straggling frame still carrying the
+        old leader's epoch is rejected by the stale-epoch check.
+        """
+        host, port = _parse_addr(leader)
+        if (host, port) == (self.leader_host, self.leader_port):
+            return
+        logger.info(
+            "retargeting follower from %s:%d to %s:%d",
+            self.leader_host, self.leader_port, host, port,
+        )
+        self.leader_host, self.leader_port = host, port
+        sock = self._sock
+        if sock is not None:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+
+    def wait_applied(self, version: int, timeout: float = 10.0) -> bool:
+        """Test/demo helper: block until ``version`` is applied here."""
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            while self.model is None or self.model.version < version:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._cond.wait(remaining)
+        return True
+
+    # -- the tail loop -----------------------------------------------------------
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            try:
+                self._sync_once()
+                self._backoff.reset()
+            except FencingError as exc:
+                with self._cond:
+                    self._fenced = True
+                    self._last_error = str(exc)
+                    self._cond.notify_all()
+                logger.error("follower fenced, tailing stops: %s", exc)
+                return
+            except (OSError, ConnectionError, StorageError) as exc:
+                with self._cond:
+                    self._last_error = str(exc)
+                if not self._stop.is_set():
+                    logger.warning(
+                        "replication stream to %s:%d dropped (%s); "
+                        "reconnecting", self.leader_host, self.leader_port,
+                        exc,
+                    )
+            finally:
+                self._set_connected(False)
+            if self._stop.wait(self._backoff.next_delay()):
+                return
+
+    def _sync_once(self) -> None:
+        applied = self.model.version if self.model is not None else 0
+        sock = socket.create_connection(
+            (self.leader_host, self.leader_port),
+            timeout=self.connect_timeout,
+        )
+        self._sock = sock
+        try:
+            sock.settimeout(self.connect_timeout)   # bounds sendall only
+            sock.sendall(f":repl from {applied}\n".encode("ascii"))
+            self._set_connected(True)
+            # Select-driven line reader: a blocking buffered readline
+            # cannot be safely interrupted for heartbeats, so buffer by
+            # hand and poll with ``read_timeout`` as the idle interval.
+            buf = b""
+            while not self._stop.is_set():
+                while b"\n" in buf:
+                    raw, buf = buf.split(b"\n", 1)
+                    line = raw.decode("ascii", errors="replace").strip()
+                    if line:
+                        self._handle_line(line, sock)
+                try:
+                    ready, _, _ = select.select(
+                        [sock], [], [], self.read_timeout
+                    )
+                except (ValueError, OSError):
+                    # The socket was closed under us (stop/sever/retarget).
+                    raise ConnectionError(
+                        "replication socket closed"
+                    ) from None
+                if self._stop.is_set():
+                    return
+                if not ready:
+                    # Idle stream: heartbeat our applied version.
+                    if self.model is not None:
+                        self._ack(sock)
+                    continue
+                chunk = sock.recv(1 << 16)
+                if not chunk:
+                    raise ConnectionError(
+                        "leader closed the replication stream"
+                    )
+                buf += chunk
+        finally:
+            self._sock = None
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def _handle_line(self, line: str, sock: socket.socket) -> None:
+        try:
+            kind, data = decode_record(line)
+        except CodecError as exc:
+            resp = _maybe_response(line)
+            if resp is not None:
+                raise ReplicationError(
+                    f"leader refused replication: {resp.error} "
+                    f"({resp.code})"
+                ) from None
+            raise ReplicationError(
+                f"undecodable replication frame: {exc}"
+            ) from exc
+        self._apply_record(kind, data, sock)
+
+    def _apply_record(
+        self, kind: str, data: dict, sock: socket.socket
+    ) -> None:
+        if kind == KIND_REPL_HELLO:
+            epoch = data.get("epoch", 0)
+            if self.model is not None and epoch < self.model.epoch:
+                raise FencingError(
+                    f"leader announces epoch {epoch} but this follower "
+                    f"has durably seen epoch {self.model.epoch}; that "
+                    "leader was fenced"
+                )
+            self._leader_epoch = max(self._leader_epoch, epoch)
+            return
+        if kind == KIND_REPL_SNAPSHOT:
+            self._bootstrap(data)
+            self._ack(sock)
+            return
+        if self.model is None:
+            raise ReplicationError(
+                f"{kind!r} record arrived before any snapshot or local "
+                "state"
+            )
+        if kind == KIND_EPOCH:
+            epoch = data.get("epoch")
+            if not isinstance(epoch, int):
+                raise ReplicationError(
+                    "epoch record without an epoch number"
+                )
+            if epoch < self.model.epoch:
+                raise FencingError(
+                    f"epoch regression on the stream: {epoch} after "
+                    f"{self.model.epoch}"
+                )
+            if epoch > self.model.epoch:
+                self.model.bump_epoch(epoch)   # durably, via our own WAL
+            self._note_applied()
+            self._ack(sock)
+            return
+        if kind in (KIND_DELTA, KIND_PROGRAM):
+            version = data.get("version")
+            if not isinstance(version, int):
+                raise ReplicationError(f"{kind!r} record without a version")
+            if version <= self.model.version:
+                return                     # redelivery after reconnect
+            if version != self.model.version + 1:
+                raise ReplicationError(
+                    f"gap in the replication stream: applied "
+                    f"{self.model.version}, received {version}"
+                )
+            rec_epoch = data.get("epoch", 0)
+            if rec_epoch < self.model.epoch:
+                raise FencingError(
+                    f"stale-epoch record for version {version}: epoch "
+                    f"{rec_epoch} after {self.model.epoch} — a fenced "
+                    "leader's write, rejected"
+                )
+            if rec_epoch > self.model.epoch:
+                raise ReplicationError(
+                    f"record for version {version} claims epoch "
+                    f"{rec_epoch} which no epoch record announced"
+                )
+            if kind == KIND_DELTA:
+                snap = self.model.apply_delta(
+                    adds=decode_atoms(data.get("adds", ())),
+                    dels=decode_atoms(data.get("dels", ())),
+                )
+            else:
+                snap = self.model.replace_program(
+                    decode_program(data.get("source"))
+                )
+            if snap.version != version:
+                raise ReplicationError(
+                    f"replaying version {version} published "
+                    f"{snap.version}; this follower diverges from the "
+                    "leader"
+                )
+            self._note_applied()
+            self._ack(sock)
+            return
+        raise ReplicationError(f"unknown replication frame kind {kind!r}")
+
+    def _bootstrap(self, data: dict) -> None:
+        version = data.get("version")
+        epoch = data.get("epoch", 0)
+        if self.model is not None:
+            if isinstance(version, int) and version <= self.model.version:
+                return                     # we already cover it
+            raise ReplicationError(
+                f"leader offered a snapshot at version {version} but this "
+                f"follower holds version {self.model.version}: it fell "
+                "behind the leader's WAL floor and must be re-seeded from "
+                "an empty directory"
+            )
+        if not isinstance(version, int) or version < 1:
+            raise ReplicationError("snapshot without a valid version")
+        program = decode_program(data.get("program"))
+        db = Database()
+        for s in data.get("facts", ()):
+            db.add_atom(decode_atom(s))
+        model = DurableModel(
+            program,
+            self.data_dir,
+            db,
+            builtins=self._builtins,
+            options=self._options,
+            keep_versions=self._keep_versions,
+            fsync=self._fsync,
+            checkpoint_every=self._checkpoint_every,
+            base_version=version - 1,
+            epoch=epoch,
+        )
+        with self._cond:
+            self.model = model
+            self._cond.notify_all()
+        logger.info(
+            "bootstrapped from leader snapshot at version %d epoch %d "
+            "(%d facts)", version, epoch, len(data.get("facts", ())),
+        )
+
+    def _ack(self, sock: socket.socket) -> None:
+        sock.sendall(f":ack {self.model.version}\n".encode("ascii"))
+
+    def _note_applied(self) -> None:
+        with self._cond:
+            self._cond.notify_all()
+
+    def _set_connected(self, connected: bool) -> None:
+        with self._cond:
+            self._connected = connected
+            self._cond.notify_all()
+
+
+def _maybe_response(line: str) -> Optional[Response]:
+    try:
+        return Response.from_json(line)
+    except (ValueError, KeyError):
+        return None

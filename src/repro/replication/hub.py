@@ -1,0 +1,247 @@
+"""Leader-side WAL shipping: fan commits out, collect follower acks.
+
+A follower opens an ordinary protocol connection and sends
+``:repl from N`` — "I have durably applied every version up to N".  The
+connection then becomes a dedicated replication stream:
+
+* **downstream** (leader → follower): :mod:`repro.storage.codec` record
+  frames, one per line, CRC-checked exactly like the WAL file they came
+  from.  First a ``repl-hello`` (the leader's epoch and latest version),
+  then — if the leader's WAL no longer covers ``N`` — one
+  ``repl-snapshot`` carrying the full program + EDB, then the committed
+  history after ``N``, then live commits as they happen.
+* **upstream** (follower → leader): ``:ack V`` lines, "version V is
+  durable here".  Acks drive :meth:`ReplicationHub.wait_replicated`, the
+  ``ack_replicas`` write-acknowledgement gate.
+
+**Gap freedom.**  The handoff from history to live tailing is atomic:
+:meth:`DurableModel.subscribe_replication` reads the WAL tail and
+registers the commit listener under the model's write lock, so no commit
+can fall between "what the file held" and "what the listener sees".  The
+listener itself runs on the writer's thread under that lock, so it only
+does ``loop.call_soon_threadsafe(queue.put_nowait, …)`` — the socket work
+happens on the server's event loop.
+
+A slow or dead follower never blocks the leader's writers: records queue
+per subscriber, and a follower that stops reading simply falls behind
+until its connection dies and it reconnects from its applied version
+(duplicate suppression on the follower makes redelivery harmless).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import threading
+import time
+from typing import Optional
+
+from ..storage.codec import (
+    KIND_REPL_HELLO,
+    KIND_REPL_SNAPSHOT,
+    StorageError,
+    encode_record,
+)
+from ..server.session import Response
+
+logger = logging.getLogger("repro.replication")
+
+
+class ReplicationLagError(StorageError):
+    """``ack_replicas`` could not be satisfied in time.
+
+    The write *is* locally durable and published — what failed is the
+    replication guarantee the deployment asked for.  Carries the stable
+    protocol code ``replication_lag`` so sessions surface it structurally.
+    """
+
+    code = "replication_lag"
+
+
+def _frame(kind: str, data: dict) -> bytes:
+    return encode_record(kind, data).encode("ascii") + b"\n"
+
+
+class ReplicationHub:
+    """Fan a leader's commit stream out to its follower subscribers."""
+
+    def __init__(self, service) -> None:
+        self.service = service
+        self.model = service.model
+        if not hasattr(self.model, "subscribe_replication"):
+            raise StorageError(
+                "replication requires a durable model (data_dir); an "
+                "in-memory model has no WAL to ship"
+            )
+        self._ids = 0
+        self._cond = threading.Condition()
+        #: subscriber id -> highest version it acknowledged as durable.
+        self._acks: dict[int, int] = {}
+
+    @classmethod
+    def attach(cls, service) -> "ReplicationHub":
+        """Create a hub and install it as ``service.hub``."""
+        hub = cls(service)
+        service.hub = hub
+        return hub
+
+    # -- ack bookkeeping (any thread) --------------------------------------------
+
+    def _register(self, from_version: int) -> int:
+        with self._cond:
+            self._ids += 1
+            sub_id = self._ids
+            self._acks[sub_id] = from_version
+            self._cond.notify_all()
+            return sub_id
+
+    def _unregister(self, sub_id: int) -> None:
+        with self._cond:
+            self._acks.pop(sub_id, None)
+            self._cond.notify_all()
+
+    def note_ack(self, sub_id: int, version: int) -> None:
+        with self._cond:
+            if sub_id in self._acks and version > self._acks[sub_id]:
+                self._acks[sub_id] = version
+                self._cond.notify_all()
+
+    def replica_info(self) -> dict:
+        with self._cond:
+            return {
+                "replicas": len(self._acks),
+                "acked": sorted(self._acks.values(), reverse=True),
+            }
+
+    def wait_replicated(
+        self, version: int, replicas: int, timeout: float = 30.0
+    ) -> None:
+        """Block until ``replicas`` followers acked ``version`` durable.
+
+        Called by the service *after* the local commit and *outside* the
+        model write lock (stalled acks must not stall other writers).
+        Raises :class:`ReplicationLagError` on timeout — the write stays
+        locally durable; only the requested replication level failed.
+        """
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            while True:
+                confirmed = sum(
+                    1 for v in self._acks.values() if v >= version
+                )
+                if confirmed >= replicas:
+                    return
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise ReplicationLagError(
+                        f"version {version} confirmed durable by only "
+                        f"{confirmed}/{replicas} replicas within "
+                        f"{timeout:g}s"
+                    )
+                self._cond.wait(remaining)
+
+    # -- the streaming connection (server event loop) ----------------------------
+
+    async def serve_subscriber(
+        self,
+        line: str,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        shutdown: Optional[asyncio.Future] = None,
+    ) -> None:
+        """Run one ``:repl from N`` connection until it drops."""
+        from_version = _parse_repl_request(line)
+        if from_version is None:
+            writer.write(
+                Response.failure(
+                    "repl_protocol",
+                    f"usage: :repl from VERSION (got {line!r})",
+                ).to_json().encode() + b"\n"
+            )
+            await writer.drain()
+            return
+        loop = asyncio.get_running_loop()
+        queue: asyncio.Queue = asyncio.Queue()
+
+        def on_commit(kind: str, data: dict) -> None:
+            # Writer's thread, under the model write lock: hand off only.
+            loop.call_soon_threadsafe(queue.put_nowait, (kind, data))
+
+        # Subscription takes the model write lock (it may wait behind a
+        # maintenance sweep): keep it off the event loop.
+        history, snapshot, version, epoch = await loop.run_in_executor(
+            self.service._pool,
+            self.model.subscribe_replication, on_commit, from_version,
+        )
+        sub_id = self._register(from_version)
+        logger.info(
+            "replica %d subscribed from version %d (leader at %d, "
+            "epoch %d, %s)", sub_id, from_version, version, epoch,
+            "snapshot bootstrap" if snapshot is not None
+            else f"{len(history)} backlog records",
+        )
+        ack_task = asyncio.ensure_future(self._read_acks(reader, sub_id))
+        try:
+            writer.write(_frame(KIND_REPL_HELLO, {
+                "version": version, "epoch": epoch, "from": from_version,
+            }))
+            if snapshot is not None:
+                writer.write(_frame(KIND_REPL_SNAPSHOT, snapshot))
+            for kind, data in history:
+                writer.write(_frame(kind, data))
+            await writer.drain()
+            while True:
+                get_task = asyncio.ensure_future(queue.get())
+                waits = {get_task, ack_task}
+                if shutdown is not None:
+                    waits.add(shutdown)
+                done, _ = await asyncio.wait(
+                    waits, return_when=asyncio.FIRST_COMPLETED
+                )
+                if get_task not in done:
+                    get_task.cancel()
+                    try:
+                        await get_task
+                    except (asyncio.CancelledError, Exception):
+                        pass
+                    break                  # follower died or shutdown
+                kind, data = get_task.result()
+                writer.write(_frame(kind, data))
+                while not queue.empty():   # opportunistic batching
+                    kind, data = queue.get_nowait()
+                    writer.write(_frame(kind, data))
+                await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            self.model.unsubscribe_replication(on_commit)
+            ack_task.cancel()
+            try:
+                await ack_task
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._unregister(sub_id)
+            logger.info("replica %d unsubscribed", sub_id)
+
+    async def _read_acks(
+        self, reader: asyncio.StreamReader, sub_id: int
+    ) -> None:
+        """Drain ``:ack N`` lines; returns (ending the stream) on EOF."""
+        while True:
+            raw = await reader.readline()
+            if not raw:
+                return
+            text = raw.decode("ascii", errors="replace").strip()
+            if not text.startswith(":ack"):
+                continue
+            parts = text.split()
+            if len(parts) == 2 and parts[1].isdigit():
+                self.note_ack(sub_id, int(parts[1]))
+
+
+def _parse_repl_request(line: str) -> Optional[int]:
+    parts = line.split()
+    if len(parts) == 3 and parts[0] == ":repl" and parts[1] == "from" \
+            and parts[2].isdigit():
+        return int(parts[2])
+    return None

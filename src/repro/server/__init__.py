@@ -17,10 +17,15 @@ layer").  The package splits into:
 from .session import (
     E_BATCH,
     E_CLOSED,
+    E_CLOSING,
     E_COMMAND,
     E_EVAL,
+    E_NOT_FOLLOWER,
+    E_NOT_YET,
     E_PARSE,
+    E_READ_ONLY,
     E_RETIRED,
+    E_UNKNOWN_VERSION,
     E_UNSAFE,
     QueryResult,
     Response,
@@ -28,15 +33,21 @@ from .session import (
     SessionStats,
 )
 from .service import QueryService
-from .protocol import LineClient, ServerHandle, run_in_thread, serve
+from .protocol import Backoff, LineClient, ServerHandle, run_in_thread, serve
 
 __all__ = [
+    "Backoff",
     "E_BATCH",
     "E_CLOSED",
+    "E_CLOSING",
     "E_COMMAND",
     "E_EVAL",
+    "E_NOT_FOLLOWER",
+    "E_NOT_YET",
     "E_PARSE",
+    "E_READ_ONLY",
     "E_RETIRED",
+    "E_UNKNOWN_VERSION",
     "E_UNSAFE",
     "LineClient",
     "QueryResult",

@@ -4,10 +4,14 @@ Wire format — deliberately minimal so any language can speak it:
 
 * **Request:** one UTF-8 line, exactly what you would type at the REPL
   (``?- path(a, X).``, ``+edge(a, b).``, ``-edge(a, b).``, ``:stats``,
-  ``:begin`` / ``:commit`` / ``:abort``, ``:at 3``, ``:version``, or a
-  program clause).  ``:quit`` ends the connection.
+  ``:begin`` / ``:commit`` / ``:abort``, ``:at 3``, ``:version``,
+  ``:sync N``, ``:role``, ``:promote``, or a program clause).  ``:quit``
+  ends the connection.
 * **Response:** one JSON line (:meth:`Response.to_json`): ``{"ok": …,
   "kind": …, "data": …, "version": …, "error": …, "code": …}``.
+* **Replication:** ``:repl from N`` switches the connection into WAL
+  shipping — the server streams :mod:`repro.storage.codec` record frames
+  and reads ``:ack N`` lines back (see :mod:`repro.replication.hub`).
 
 Each connection owns one :class:`~repro.server.session.Session`; request
 handling is pushed onto the service's thread pool so a long query never
@@ -15,39 +19,143 @@ stalls the event loop, while the session itself guarantees snapshot
 isolation.  A dropped connection closes the session — pending batches are
 discarded, pinned versions released, and the shared model is untouched.
 
+**Graceful shutdown.**  :meth:`ServerHandle.stop` stops accepting, lets
+every in-flight request finish and deliver its response, then sends each
+surviving connection one structured ``server_closing`` response before
+closing it — a client mid-request never sees its acknowledged work
+vanish into a reset socket.
+
 :func:`run_in_thread` hosts the asyncio server on a daemon thread and
 returns the bound address — how the tests, the benchmark and the demo
 drive a real socket server in-process.  :class:`LineClient` is a minimal
-blocking client for those callers.
+blocking client for those callers; with ``max_attempts > 1`` it
+reconnects on connection failure with exponential backoff plus jitter.
 """
 
 from __future__ import annotations
 
 import asyncio
-import json
+import random
 import socket
 import threading
+import time
 from typing import Optional
 
 from .service import QueryService
-from .session import Response
+from .session import E_CLOSING, Response
 
 #: Requests longer than this are refused (also bounds the reader buffer).
 MAX_LINE_BYTES = 1 << 20
+
+
+class Backoff:
+    """Exponential backoff with full jitter (shared by clients/followers).
+
+    Delays grow ``initial * factor**n`` capped at ``maximum``; each delay
+    is drawn uniformly from ``[delay/2, delay]`` so a herd of reconnecting
+    clients does not resynchronize on the failed endpoint.
+    """
+
+    def __init__(
+        self,
+        initial: float = 0.05,
+        maximum: float = 2.0,
+        factor: float = 2.0,
+    ) -> None:
+        self.initial = initial
+        self.maximum = maximum
+        self.factor = factor
+        self._attempt = 0
+
+    def reset(self) -> None:
+        self._attempt = 0
+
+    def next_delay(self) -> float:
+        delay = min(
+            self.maximum, self.initial * (self.factor ** self._attempt)
+        )
+        self._attempt += 1
+        return delay * (0.5 + 0.5 * random.random())
+
+
+class _ServerState:
+    """Live-connection registry backing the graceful drain shutdown."""
+
+    def __init__(self, loop: asyncio.AbstractEventLoop) -> None:
+        self.loop = loop
+        self.closing = False
+        self._waiters: set[asyncio.Future] = set()
+        self._active = 0
+        #: Set (from the loop thread) once closing is underway and every
+        #: connection handler has exited — the drain barrier stop() waits
+        #: on from the caller's thread.
+        self.drained = threading.Event()
+
+    def register(self) -> asyncio.Future:
+        waiter = self.loop.create_future()
+        self._waiters.add(waiter)
+        self._active += 1
+        return waiter
+
+    def unregister(self, waiter: asyncio.Future) -> None:
+        self._waiters.discard(waiter)
+        self._active -= 1
+        if self.closing and self._active <= 0:
+            self.drained.set()
+
+    def begin_close(self) -> None:
+        """Loop thread only: flag shutdown and wake idle readers."""
+        self.closing = True
+        for waiter in list(self._waiters):
+            if not waiter.done():
+                waiter.set_result(None)
+        if self._active <= 0:
+            self.drained.set()
+
+
+async def _send_closing(writer: asyncio.StreamWriter) -> None:
+    payload = Response.failure(
+        E_CLOSING, "server is shutting down"
+    )
+    try:
+        writer.write(payload.to_json().encode() + b"\n")
+        await writer.drain()
+    except (ConnectionError, OSError):
+        pass
 
 
 async def handle_connection(
     service: QueryService,
     reader: asyncio.StreamReader,
     writer: asyncio.StreamWriter,
+    state: Optional[_ServerState] = None,
 ) -> None:
     """Serve one client connection: a session for the connection's life."""
     session = service.open_session()
     loop = asyncio.get_running_loop()
+    waiter = state.register() if state is not None else None
     try:
         while True:
+            if state is not None and state.closing:
+                await _send_closing(writer)
+                break
+            read_task = asyncio.ensure_future(reader.readline())
             try:
-                raw = await reader.readline()
+                if waiter is not None:
+                    await asyncio.wait(
+                        {read_task, waiter},
+                        return_when=asyncio.FIRST_COMPLETED,
+                    )
+                    if not read_task.done():
+                        # Shutdown arrived while this connection was idle.
+                        read_task.cancel()
+                        try:
+                            await read_task
+                        except (asyncio.CancelledError, Exception):
+                            pass
+                        await _send_closing(writer)
+                        break
+                raw = await read_task
             except (asyncio.LimitOverrunError, ValueError):
                 payload = Response.failure(
                     "line_too_long",
@@ -65,6 +173,21 @@ async def handle_connection(
                 )
                 await writer.drain()
                 break
+            if line == ":repl" or line.startswith(":repl "):
+                hub = getattr(service, "hub", None)
+                if hub is None:
+                    payload = Response.failure(
+                        "repl_unavailable",
+                        "replication is not enabled on this server",
+                    )
+                    writer.write(payload.to_json().encode() + b"\n")
+                    await writer.drain()
+                    continue
+                # The connection is dedicated to WAL shipping from here.
+                await hub.serve_subscriber(
+                    line, reader, writer, shutdown=waiter
+                )
+                break
             # Session work runs on the service pool: parsing and query
             # evaluation are CPU-bound and must not block the event loop.
             response = await loop.run_in_executor(
@@ -75,20 +198,25 @@ async def handle_connection(
     except ConnectionError:
         pass                               # mid-session disconnect
     finally:
+        if state is not None:
+            state.unregister(waiter)
         session.close()                    # discards pending, releases pins
         try:
             writer.close()
             await writer.wait_closed()
-        except ConnectionError:
-            pass
+        except (ConnectionError, asyncio.CancelledError):
+            pass                           # forced teardown mid-close
 
 
 async def serve(
-    service: QueryService, host: str = "127.0.0.1", port: int = 0
+    service: QueryService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    state: Optional[_ServerState] = None,
 ) -> asyncio.base_events.Server:
     """Start the asyncio server; ``port=0`` binds an ephemeral port."""
     return await asyncio.start_server(
-        lambda r, w: handle_connection(service, r, w),
+        lambda r, w: handle_connection(service, r, w, state),
         host,
         port,
         limit=MAX_LINE_BYTES,
@@ -103,6 +231,10 @@ class ServerHandle:
         self.port = port
         self._stop = stop
 
+    @property
+    def addr(self) -> str:
+        return f"{self.host}:{self.port}"
+
     def stop(self) -> None:
         self._stop()
 
@@ -114,9 +246,19 @@ class ServerHandle:
 
 
 def run_in_thread(
-    service: QueryService, host: str = "127.0.0.1", port: int = 0
+    service: QueryService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    start_timeout: float = 10.0,
+    stop_timeout: float = 10.0,
 ) -> ServerHandle:
-    """Host the protocol server on a daemon thread; returns its address."""
+    """Host the protocol server on a daemon thread; returns its address.
+
+    ``stop()`` drains gracefully: accepting stops immediately, in-flight
+    requests run to completion (bounded by ``stop_timeout``) and every
+    idle connection receives a ``server_closing`` response before the
+    loop is torn down.
+    """
     started = threading.Event()
     box: dict = {}
 
@@ -125,10 +267,12 @@ def run_in_thread(
         asyncio.set_event_loop(loop)
 
         async def main() -> None:
-            server = await serve(service, host, port)
+            state = _ServerState(asyncio.get_running_loop())
+            server = await serve(service, host, port, state=state)
             box["addr"] = server.sockets[0].getsockname()[:2]
             box["loop"] = loop
             box["server"] = server
+            box["state"] = state
             started.set()
             async with server:
                 await server.serve_forever()
@@ -138,26 +282,50 @@ def run_in_thread(
         except asyncio.CancelledError:
             pass
         finally:
+            # Let cancelled handlers run their cleanup before the loop
+            # goes away — otherwise teardown leaks "task was destroyed
+            # but it is pending" noise on busy shutdowns.
+            pending = [t for t in asyncio.all_tasks(loop) if not t.done()]
+            for task in pending:
+                task.cancel()
+            if pending:
+                loop.run_until_complete(
+                    asyncio.gather(*pending, return_exceptions=True)
+                )
             loop.close()
 
     thread = threading.Thread(
         target=runner, name="lps-server", daemon=True
     )
     thread.start()
-    if not started.wait(timeout=10):
-        raise RuntimeError("server failed to start within 10s")
+    if not started.wait(timeout=start_timeout):
+        raise RuntimeError(
+            f"server failed to start within {start_timeout:g}s"
+        )
     bound_host, bound_port = box["addr"]
     loop: asyncio.AbstractEventLoop = box["loop"]
+    state: _ServerState = box["state"]
+    stopped = threading.Event()
 
     def stop() -> None:
-        def _shutdown() -> None:
+        if stopped.is_set():
+            return
+        stopped.set()
+
+        def _begin() -> None:
             box["server"].close()
+            state.begin_close()
+
+        def _finish() -> None:
             for task in asyncio.all_tasks(loop):
                 task.cancel()
 
         if loop.is_running():
-            loop.call_soon_threadsafe(_shutdown)
-        thread.join(timeout=10)
+            loop.call_soon_threadsafe(_begin)
+            state.drained.wait(timeout=stop_timeout)
+            if loop.is_running():
+                loop.call_soon_threadsafe(_finish)
+        thread.join(timeout=stop_timeout)
 
     return ServerHandle(bound_host, bound_port, stop)
 
@@ -167,28 +335,111 @@ class LineClient:
 
     Not thread-safe: give each client thread its own connection, exactly
     as a real deployment would.
+
+    ``max_attempts=1`` (the default) preserves the historical behavior —
+    any socket failure raises immediately.  With ``max_attempts > 1`` a
+    failed connect or send tears the socket down and retries on a fresh
+    connection under exponential backoff with jitter.  Note the retry
+    semantics: a request whose response was lost mid-flight may have been
+    applied — safe for this protocol's reads and for fact deltas (set
+    operations are idempotent), but the knob stays opt-in.
     """
 
-    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
-        self._sock = socket.create_connection((host, port), timeout=timeout)
-        self._file = self._sock.makefile("rwb")
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 30.0,
+        max_attempts: int = 1,
+        backoff_initial: float = 0.05,
+        backoff_max: float = 2.0,
+    ) -> None:
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.max_attempts = max_attempts
+        self._backoff = Backoff(backoff_initial, backoff_max)
+        self._sock: Optional[socket.socket] = None
+        self._file = None
+        self._connect()
+
+    def _connect(self) -> None:
+        last_exc: Optional[Exception] = None
+        for attempt in range(self.max_attempts):
+            if attempt:
+                time.sleep(self._backoff.next_delay())
+            try:
+                self._sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.timeout
+                )
+                self._file = self._sock.makefile("rwb")
+                self._backoff.reset()
+                return
+            except OSError as exc:
+                last_exc = exc
+                self._teardown()
+        raise ConnectionError(
+            f"could not connect to {self.host}:{self.port} after "
+            f"{self.max_attempts} attempt(s): {last_exc}"
+        )
+
+    def _teardown(self) -> None:
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+            self._file = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
 
     def send(self, line: str) -> Response:
+        last_exc: Optional[Exception] = None
+        for attempt in range(self.max_attempts):
+            if self._file is None:
+                try:
+                    self._connect()
+                except ConnectionError as exc:
+                    last_exc = exc
+                    continue
+            try:
+                return self._send_once(line)
+            except (ConnectionError, OSError) as exc:
+                last_exc = exc
+                self._teardown()
+                if attempt + 1 < self.max_attempts:
+                    time.sleep(self._backoff.next_delay())
+        raise ConnectionError(
+            f"request failed after {self.max_attempts} attempt(s): "
+            f"{last_exc}"
+        )
+
+    def _send_once(self, line: str) -> Response:
         self._file.write(line.encode() + b"\n")
         self._file.flush()
         raw = self._file.readline()
         if not raw:
             raise ConnectionError("server closed the connection")
-        return Response.from_json(raw.decode())
+        response = Response.from_json(raw.decode())
+        if response.code == E_CLOSING:
+            # A graceful-shutdown notice, possibly buffered before our
+            # request was even written: the connection is dying, not
+            # answering.  Surface it as a connection failure so the
+            # bounded-reconnect path retries against the replacement.
+            raise ConnectionError("server is shutting down")
+        return response
 
     def query(self, goal: str) -> Response:
         return self.send(f"?- {goal.rstrip('.')}.")
 
     def close(self) -> None:
-        try:
-            self._file.close()
-        finally:
-            self._sock.close()
+        self._teardown()
 
     def __enter__(self) -> "LineClient":
         return self

@@ -49,6 +49,10 @@ class QueryService:
     ``program`` argument, which only seeds brand-new directories.
     """
 
+    #: Session type handed out by :meth:`open_session`; a follower
+    #: service swaps in its read-only ``FollowerSession``.
+    session_class = Session
+
     def __init__(
         self,
         program: Union[Program, str, None] = None,
@@ -61,7 +65,21 @@ class QueryService:
         data_dir: Optional[Union[str, os.PathLike]] = None,
         fsync: str = "always",
         checkpoint_every: Optional[int] = 512,
+        model: Optional[VersionedModel] = None,
+        ack_replicas: int = 0,
+        ack_timeout: float = 30.0,
     ) -> None:
+        if model is not None:
+            # An externally managed model (the follower path: the
+            # FollowerService owns a DurableModel the shipping thread
+            # writes into, and the service serves reads over it).
+            self.max_batch = max_batch
+            self.model = model
+            self._source_lines = [
+                pretty_clause(c) for c in model.program.clauses
+            ]
+            self._init_runtime(max_workers, ack_replicas, ack_timeout)
+            return
         if isinstance(program, Program):
             # pretty_clause, not str(): only the pretty-printer's output is
             # round-trip verified (quoted/keyword constants, negative ints),
@@ -101,6 +119,11 @@ class QueryService:
                 options=options,
                 keep_versions=keep_versions,
             )
+        self._init_runtime(max_workers, ack_replicas, ack_timeout)
+
+    def _init_runtime(
+        self, max_workers: int, ack_replicas: int, ack_timeout: float
+    ) -> None:
         self._pool = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="lps-query"
         )
@@ -109,13 +132,19 @@ class QueryService:
         #: Stats of already-closed sessions (so totals never regress).
         self._retired_stats = SessionStats()
         self._closed = False
+        #: Replication attachments (see :mod:`repro.replication`): a
+        #: leader gets a ReplicationHub, a follower a FollowerService.
+        self.hub = None
+        self.follower = None
+        self.ack_replicas = ack_replicas
+        self.ack_timeout = ack_timeout
 
     # -- sessions ----------------------------------------------------------------
 
     def open_session(self) -> Session:
         if self._closed:
             raise RuntimeError("service is shut down")
-        session = Session(
+        session = self.session_class(
             self.model, max_batch=self.max_batch, service=self
         )
         with self._sessions_lock:
@@ -149,7 +178,9 @@ class QueryService:
         self, adds: Iterable[Any] = (), dels: Iterable[Any] = ()
     ) -> ModelSnapshot:
         """Direct writer entry (the churn generator and benchmarks)."""
-        return self.model.apply_delta(adds=adds, dels=dels)
+        snap = self.model.apply_delta(adds=adds, dels=dels)
+        self.wait_replicated(snap.version)
+        return snap
 
     def extend_program(self, text: str) -> ModelSnapshot:
         """Append clause source, revalidate the whole program, rebuild.
@@ -162,7 +193,43 @@ class QueryService:
                 "\n".join([*self._source_lines, text])
             )
             self._source_lines.append(text)
-            return self.model.replace_program(program)
+            snap = self.model.replace_program(program)
+        self.wait_replicated(snap.version)
+        return snap
+
+    # -- replication role --------------------------------------------------------
+
+    def refuse_write(self):
+        """Role hook: return a structured refusal ``Response`` when this
+        service must not accept writes (a follower), ``None`` otherwise."""
+        follower = self.follower
+        if follower is not None:
+            return follower.refuse_write()
+        return None
+
+    def role_info(self) -> dict:
+        """The ``:role`` payload: who we are, where we are, who leads."""
+        info = {
+            "role": "leader",
+            "version": self.model.version,
+            "epoch": getattr(self.model, "epoch", 0),
+            "durable": hasattr(self.model, "data_dir"),
+        }
+        if self.hub is not None:
+            info["replication"] = self.hub.replica_info()
+        follower = self.follower
+        if follower is not None:
+            info.update(follower.role_info())
+        return info
+
+    def wait_replicated(self, version: int) -> None:
+        """Leader-side ack gating: with ``ack_replicas=k`` a write is not
+        acknowledged to its client until *k* followers have confirmed
+        durable application of ``version``.  No-op otherwise."""
+        if self.hub is not None and self.ack_replicas > 0:
+            self.hub.wait_replicated(
+                version, self.ack_replicas, timeout=self.ack_timeout
+            )
 
     # -- stats -------------------------------------------------------------------
 

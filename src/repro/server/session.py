@@ -36,6 +36,7 @@ from __future__ import annotations
 import itertools
 import json
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Optional
 
@@ -68,6 +69,12 @@ E_EVAL = "evaluation_error"
 E_UNSAFE = "unsafe_query"
 E_CLOSED = "session_closed"
 E_COMMAND = "unknown_command"
+#: Replication & failover codes (see DESIGN.md, "Replication & failover").
+E_UNKNOWN_VERSION = "unknown_version"      # :at N beyond latest (leader)
+E_NOT_YET = "not_yet_applied"              # retryable: follower lag
+E_READ_ONLY = "read_only"                  # write sent to a follower
+E_NOT_FOLLOWER = "not_a_follower"          # :promote sent to a leader
+E_CLOSING = "server_closing"               # graceful shutdown in progress
 
 #: Head predicate for compiled query clauses (identifiers must start
 #: lower-case; the atom never enters any model, so collisions are inert).
@@ -356,6 +363,9 @@ class Session:
 
     def _stage(self, is_add: bool, a: Atom) -> Response:
         self._check_open()
+        refusal = self._refused_write()
+        if refusal is not None:
+            return refusal
         with self._lock:
             pending = self._pending
             if pending is not None:
@@ -447,7 +457,20 @@ class Session:
         dels = [a for is_add, a in batch if not is_add]
         with self._model.lock:
             snap = self._model.apply_delta(adds=adds, dels=dels)
-            return snap, self._model.last_report
+            report = self._model.last_report
+        # Replication ack gating runs *outside* the write lock: waiting
+        # for follower acks must never stall other writers or the
+        # shipping stream itself.
+        if self._service is not None:
+            self._service.wait_replicated(snap.version)
+        return snap, report
+
+    def _refused_write(self) -> Optional[Response]:
+        """Role hook: a follower's session refuses writes here (the
+        service decides; a standalone session is always writable)."""
+        if self._service is not None:
+            return self._service.refuse_write()
+        return None
 
     # -- the REPL grammar --------------------------------------------------------
 
@@ -460,7 +483,11 @@ class Session:
         except SafetyError as exc:
             return self._error(E_UNSAFE, exc)
         except LPSError as exc:
-            code = E_PARSE if _is_parse_error(exc) else E_EVAL
+            # Errors may carry their own stable protocol code (e.g. the
+            # replication hub's ack-timeout tags replication_lag).
+            code = getattr(exc, "code", None)
+            if not isinstance(code, str):
+                code = E_PARSE if _is_parse_error(exc) else E_EVAL
             return self._error(code, exc)
 
     def _error(self, code: str, exc: Exception) -> Response:
@@ -490,7 +517,10 @@ class Session:
             return self.retract_fact(line[1:])
         if line.startswith(":"):
             return self._command(line)
-        # Anything else is a program clause.
+        # Anything else is a program clause (a write: role hook applies).
+        refusal = self._refused_write()
+        if refusal is not None:
+            return refusal
         snap = self.add_clause(line)
         return Response(ok=True, kind="ok", version=snap.version)
 
@@ -521,6 +551,12 @@ class Session:
                 return Response.failure(
                     E_COMMAND, f"usage: :at VERSION (got {arg!r})"
                 )
+            latest = self._model.version
+            if version > latest:
+                # Never published here.  On a leader that version simply
+                # does not exist; on a follower it may exist upstream and
+                # merely not be applied yet (see FollowerSession).
+                return self._future_version(version, latest)
             # Pin the version so it cannot retire out from under the
             # session while it is reading there (released by :latest).
             self.unpin()
@@ -544,7 +580,81 @@ class Session:
                 ok=True, kind="stats", data=self.stats_data(),
                 version=self._model.version,
             )
+        if cmd == ":sync":
+            parts = arg.rstrip(".").split()
+            try:
+                version = int(parts[0])
+                timeout = float(parts[1]) if len(parts) > 1 else 30.0
+            except (IndexError, ValueError):
+                return Response.failure(
+                    E_COMMAND, f"usage: :sync VERSION [TIMEOUT] (got {arg!r})"
+                )
+            return self._sync(version, timeout)
+        if cmd == ":role":
+            if self._service is not None:
+                data = self._service.role_info()
+            else:
+                data = {
+                    "role": "standalone",
+                    "version": self._model.version,
+                    "epoch": getattr(self._model, "epoch", 0),
+                }
+            return Response(
+                ok=True, kind="role", data=data, version=self._model.version
+            )
+        if cmd == ":promote":
+            return self._promote()
         return Response.failure(E_COMMAND, f"unknown command {cmd!r}")
+
+    # -- replication hooks (overridden by FollowerSession) -----------------------
+
+    def _future_version(self, version: int, latest: int) -> Response:
+        with self._lock:
+            self.stats.errors += 1
+        return Response(
+            ok=False, kind="error", code=E_UNKNOWN_VERSION,
+            error=(
+                f"version {version} has never been published "
+                f"(latest is {latest})"
+            ),
+            data={"latest": latest},
+        )
+
+    def _sync(self, version: int, timeout: float) -> Response:
+        """``:sync N`` — block until the model reaches version ``N``.
+
+        The read-your-writes primitive across replicas: a client that
+        wrote version N on the leader syncs to N on a follower before
+        reading there.  On a leader this returns immediately (versions
+        only advance through acknowledged writes).
+        """
+        deadline = time.monotonic() + max(0.0, timeout)
+        while True:
+            latest = self._model.version
+            if latest >= version:
+                return Response(
+                    ok=True, kind="version",
+                    data={"latest": latest}, version=latest,
+                )
+            if time.monotonic() >= deadline:
+                with self._lock:
+                    self.stats.errors += 1
+                return Response(
+                    ok=False, kind="error", code=E_NOT_YET,
+                    error=(
+                        f"version {version} not applied within "
+                        f"{timeout:g}s (still at {latest})"
+                    ),
+                    data={"retryable": True, "latest": latest},
+                )
+            time.sleep(0.002)
+
+    def _promote(self) -> Response:
+        return Response.failure(
+            E_NOT_FOLLOWER,
+            "this server is not a follower; only a follower can be "
+            "promoted",
+        )
 
     # -- program management ------------------------------------------------------
 

@@ -22,19 +22,26 @@ from .codec import (
     encode_record,
 )
 from .checkpoint import list_checkpoints, load_checkpoint, write_checkpoint
-from .durable import DurableModel, has_state, save_snapshot
-from .wal import FSYNC_ALWAYS, FSYNC_NEVER, WriteAheadLog
+from .durable import DurableModel, FencingError, has_state, save_snapshot
+from .wal import (
+    FSYNC_ALWAYS,
+    FSYNC_NEVER,
+    WriteAheadLog,
+    committed_records,
+)
 
 __all__ = [
     "FORMAT_VERSION",
     "StorageError",
     "CodecError",
     "RecoveryError",
+    "FencingError",
     "encode_record",
     "decode_record",
     "WriteAheadLog",
     "FSYNC_ALWAYS",
     "FSYNC_NEVER",
+    "committed_records",
     "write_checkpoint",
     "load_checkpoint",
     "list_checkpoints",

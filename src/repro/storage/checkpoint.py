@@ -82,8 +82,14 @@ def write_checkpoint(
     program: Program,
     database: Database,
     fsync: bool = True,
+    epoch: int = 0,
 ) -> Path:
-    """Serialize ``(program, EDB)`` at ``version``; atomic temp+rename."""
+    """Serialize ``(program, EDB)`` at ``version``; atomic temp+rename.
+
+    ``epoch`` is the replication fencing epoch the store held when the
+    snapshot was taken; it survives WAL truncation through the header so
+    a recovered store cannot forget it was promoted.
+    """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     facts = sorted(
@@ -91,6 +97,7 @@ def write_checkpoint(
     )
     lines = [encode_record(KIND_CKPT_HEADER, {
         "version": version,
+        "epoch": epoch,
         "mode": program.mode,
         "program": encode_program(program),
         "facts": len(facts),
@@ -114,9 +121,13 @@ def write_checkpoint(
     return final
 
 
-def load_checkpoint(path: Path) -> tuple[int, Program, Database]:
+def load_checkpoint(path: Path) -> tuple[int, int, Program, Database]:
     """Parse and verify one checkpoint; raises :class:`CodecError` when it
-    is torn, bit-flipped, incomplete or otherwise untrustworthy."""
+    is torn, bit-flipped, incomplete or otherwise untrustworthy.
+
+    Returns ``(version, epoch, program, database)``; checkpoints written
+    before the replication PR carry no epoch field and load as epoch 0.
+    """
     path = Path(path)
     named_version = checkpoint_version(path)
     text = path.read_text(encoding="ascii", errors="surrogateescape")
@@ -137,9 +148,14 @@ def load_checkpoint(path: Path) -> tuple[int, Program, Database]:
             f"checkpoint {path.name} does not start with a header record"
         )
     version = header.get("version")
+    epoch = header.get("epoch", 0)
     n_facts = header.get("facts")
     mode = header.get("mode")
-    if not isinstance(version, int) or not isinstance(n_facts, int):
+    if (
+        not isinstance(version, int)
+        or not isinstance(n_facts, int)
+        or not isinstance(epoch, int)
+    ):
         raise CodecError(f"checkpoint {path.name} header is malformed")
     if named_version is not None and named_version != version:
         raise CodecError(
@@ -174,7 +190,7 @@ def load_checkpoint(path: Path) -> tuple[int, Program, Database]:
                 "its fact section"
             )
         db.add_atom(decode_atom(data.get("atom")))
-    return version, program, db
+    return version, epoch, program, db
 
 
 def clean_temp_files(directory: Path) -> list[Path]:

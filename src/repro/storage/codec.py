@@ -41,9 +41,15 @@ FORMAT_VERSION = 1
 KIND_DELTA = "delta"
 KIND_PROGRAM = "program"
 KIND_ABORT = "abort"
+KIND_EPOCH = "epoch"
 KIND_CKPT_HEADER = "checkpoint-header"
 KIND_CKPT_FACT = "fact"
 KIND_CKPT_FOOTER = "checkpoint-footer"
+
+#: Record kinds used only on the replication wire (never in a WAL file):
+#: the stream greeting and a full-state bootstrap snapshot.
+KIND_REPL_HELLO = "repl-hello"
+KIND_REPL_SNAPSHOT = "repl-snapshot"
 
 
 class StorageError(LPSError):

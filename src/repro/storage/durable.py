@@ -50,12 +50,14 @@ from ..engine.maintenance import ModelSnapshot, VersionedModel
 from .codec import (
     KIND_ABORT,
     KIND_DELTA,
+    KIND_EPOCH,
     KIND_PROGRAM,
     CodecError,
     RecoveryError,
     StorageError,
     decode_atoms,
     decode_program,
+    encode_atom,
     encode_program,
 )
 from .checkpoint import (
@@ -70,6 +72,16 @@ from .wal import FSYNC_ALWAYS, WriteAheadLog
 logger = logging.getLogger("repro.storage")
 
 QUARANTINE_SUFFIX = ".corrupt"
+
+
+class FencingError(StorageError):
+    """A write (or replayed record) carries a stale replication epoch.
+
+    Raised when a record from a fenced old leader reaches a store that
+    has already seen a higher epoch — the replication safety property is
+    precisely that such writes are *rejected*, never silently merged into
+    the promoted lineage.
+    """
 
 
 def has_state(data_dir: Path | str) -> bool:
@@ -97,7 +109,8 @@ def save_snapshot(data_dir: Path | str, model: VersionedModel) -> Path:
     with model.lock:
         mm = model._materialized
         return write_checkpoint(
-            d, model.version, mm.program, mm.database, fsync=True
+            d, model.version, mm.program, mm.database, fsync=True,
+            epoch=getattr(model, "epoch", 0),
         )
 
 
@@ -123,10 +136,13 @@ class DurableModel(VersionedModel):
         keep_checkpoints: int = 2,
         segment_max_bytes: int = 1 << 20,
         base_version: int = 0,
+        epoch: int = 0,
         _recovering: bool = False,
     ) -> None:
         if keep_checkpoints < 1:
             raise ValueError("keep_checkpoints must be >= 1")
+        if epoch < 0:
+            raise ValueError("epoch must be >= 0")
         self.data_dir = Path(data_dir)
         self.data_dir.mkdir(parents=True, exist_ok=True)
         if not _recovering and has_state(self.data_dir):
@@ -134,12 +150,21 @@ class DurableModel(VersionedModel):
                 f"{self.data_dir} already holds durable state; use "
                 "DurableModel.recover() or DurableModel.open()"
             )
+        #: Replication fencing epoch: stamped into every WAL record,
+        #: bumped by :meth:`bump_epoch` at promotion (see DESIGN.md,
+        #: "Replication & failover").  Single-node stores stay at 0.
+        self.epoch = epoch
         self._fsync = fsync
         self._checkpoint_every = checkpoint_every
         self._keep_checkpoints = keep_checkpoints
         self._records_since_checkpoint = 0
         self._replaying = False
         self._closed = False
+        #: Commit listeners: ``fn(kind, data)`` called under the write
+        #: lock after every successfully applied *logged* operation, in
+        #: commit order, with exactly the data dict the WAL recorded —
+        #: the leader-side replication hub subscribes here.
+        self._commit_listeners: list = []
         self._wal = WriteAheadLog(
             self.data_dir, fsync=fsync, segment_max_bytes=segment_max_bytes
         )
@@ -206,7 +231,7 @@ class DurableModel(VersionedModel):
             raise RecoveryError(
                 f"{d} holds no loadable checkpoint; cannot recover"
             )
-        version, program, db = base
+        version, epoch, program, db = base
         model = cls(
             program,
             d,
@@ -219,13 +244,15 @@ class DurableModel(VersionedModel):
             keep_checkpoints=keep_checkpoints,
             segment_max_bytes=segment_max_bytes,
             base_version=version - 1,
+            epoch=epoch,
             _recovering=True,
         )
         records = model._wal.recover_records()
         model._replay(records)
         logger.info(
-            "recovered %s at version %d (checkpoint %d + %d replayed "
-            "records)", d, model.version, version, model._records_since_checkpoint,
+            "recovered %s at version %d epoch %d (checkpoint %d + %d "
+            "replayed records)", d, model.version, model.epoch, version,
+            model._records_since_checkpoint,
         )
         return model
 
@@ -264,7 +291,9 @@ class DurableModel(VersionedModel):
                 # True no-op: publishes nothing, so nothing to log.
                 return super().apply_delta(adds=add_atoms, dels=del_atoms)
             target = self._version + 1
-            self._wal.append_delta(target, add_atoms, del_atoms)
+            logged = self._wal.append_delta(
+                target, add_atoms, del_atoms, epoch=self.epoch
+            )
             try:
                 snap = super().apply_delta(adds=add_atoms, dels=del_atoms)
             except Exception:
@@ -281,6 +310,7 @@ class DurableModel(VersionedModel):
                     "log that diverges from the state"
                 )
             self._note_record()
+            self._notify_commit(KIND_DELTA, logged)
             return snap
 
     def replace_program(self, program: Program) -> ModelSnapshot:
@@ -290,7 +320,9 @@ class DurableModel(VersionedModel):
                 return super().replace_program(program)
             source = encode_program(program)  # verified round trip
             target = self._version + 1
-            self._wal.append_program(target, source)
+            logged = self._wal.append_program(
+                target, source, epoch=self.epoch
+            )
             try:
                 snap = super().replace_program(program)
             except Exception:
@@ -303,7 +335,85 @@ class DurableModel(VersionedModel):
                     f"logged {target}"
                 )
             self._note_record()
+            self._notify_commit(KIND_PROGRAM, logged)
             return snap
+
+    def bump_epoch(self, epoch: int) -> None:
+        """Raise the fencing epoch (promotion): durable before effective.
+
+        The bump is WAL-logged at the store's current version — epoch
+        records publish no model version of their own — and every later
+        record carries the new epoch.  Replay (and followers) reject any
+        record whose epoch is lower than one already seen, which is what
+        fences a deposed leader out of the promoted lineage.
+        """
+        with self._lock:
+            self._check_writable()
+            if epoch <= self.epoch:
+                raise FencingError(
+                    f"cannot move the epoch backwards or in place: "
+                    f"current {self.epoch}, requested {epoch}"
+                )
+            logged = self._wal.append_epoch(self._version, epoch)
+            self.epoch = epoch
+            self._note_record()
+            self._notify_commit(KIND_EPOCH, logged)
+
+    def add_commit_listener(self, fn) -> None:
+        """Register ``fn(kind, data)`` to observe logged commits in order
+        (called under the write lock — keep it non-blocking)."""
+        with self._lock:
+            self._commit_listeners.append(fn)
+
+    def subscribe_replication(
+        self, listener, from_version: int = 0
+    ) -> tuple[list, Optional[dict], int, int]:
+        """Gap-free subscription handoff for WAL shipping.
+
+        Atomically — under the write lock, so no commit can slip between
+        the history read and the registration — read the committed WAL
+        tail after ``from_version`` and register ``listener`` for every
+        subsequent commit.  Returns ``(history, snapshot, version,
+        epoch)``; ``snapshot`` is a bootstrap payload (and ``history``
+        restarts after it) when the WAL no longer covers ``from_version``
+        — which is always the case for a brand-new follower, because a
+        fresh store's initial version lives only in its base checkpoint.
+        """
+        with self._lock:
+            history = self._wal.records_from(from_version)
+            snapshot = None
+            if from_version < self._version:
+                published = [
+                    d["version"] for k, d in history
+                    if k in (KIND_DELTA, KIND_PROGRAM)
+                ]
+                if not published or published[0] != from_version + 1:
+                    snapshot = self.replication_snapshot()
+                    history = []
+            self._commit_listeners.append(listener)
+            return history, snapshot, self._version, self.epoch
+
+    def unsubscribe_replication(self, listener) -> None:
+        with self._lock:
+            try:
+                self._commit_listeners.remove(listener)
+            except ValueError:
+                pass
+
+    def replication_snapshot(self) -> dict:
+        """Bootstrap payload for a follower behind the WAL floor: the
+        current program + EDB inline — exactly a checkpoint's content,
+        shipped as one wire record.  Caller holds the write lock."""
+        mm = self._materialized
+        return {
+            "version": self._version,
+            "epoch": self.epoch,
+            "mode": mm.program.mode,
+            "program": encode_program(mm.program),
+            "facts": sorted(
+                (encode_atom(a) for a in mm.database.facts()), key=str
+            ),
+        }
 
     def checkpoint(self) -> Path:
         """Snapshot the current state, prune old checkpoints, truncate WAL.
@@ -321,6 +431,7 @@ class DurableModel(VersionedModel):
                 self._materialized.program,
                 self._materialized.database,
                 fsync=self._fsync == FSYNC_ALWAYS,
+                epoch=self.epoch,
             )
             self._records_since_checkpoint = 0
             kept = list_checkpoints(self.data_dir)
@@ -336,6 +447,13 @@ class DurableModel(VersionedModel):
     def _check_writable(self) -> None:
         if self._closed:
             raise StorageError("durable model is closed")
+
+    def _notify_commit(self, kind: str, data: dict) -> None:
+        for fn in self._commit_listeners:
+            try:
+                fn(kind, data)
+            except Exception:  # pragma: no cover - listener bug
+                logger.exception("commit listener failed for %s", kind)
 
     def _abort_logged(self, version: int) -> None:
         try:
@@ -377,6 +495,25 @@ class DurableModel(VersionedModel):
                         f"WAL record {i} carries no version number"
                     )
                 version = data["version"]
+                if kind == KIND_EPOCH:
+                    # Fencing bumps are recorded *at* a version, publishing
+                    # nothing; a regression in the stream is an old
+                    # leader's lineage spliced after a promotion.
+                    epoch = data.get("epoch")
+                    if not isinstance(epoch, int):
+                        raise RecoveryError(
+                            f"epoch record at version {version} carries no "
+                            "epoch number"
+                        )
+                    if epoch < self.epoch:
+                        raise FencingError(
+                            f"epoch regression in the WAL: record announces "
+                            f"epoch {epoch} after {self.epoch} was already "
+                            "established; refusing a fenced lineage"
+                        )
+                    self.epoch = epoch
+                    i += 1
+                    continue
                 if kind == KIND_ABORT or version <= self._version:
                     # A stray tombstone, or a record the checkpoint already
                     # covers (retained for older-checkpoint fallback).
@@ -396,6 +533,25 @@ class DurableModel(VersionedModel):
                     raise RecoveryError(
                         f"WAL gap: expected version {self._version + 1}, "
                         f"found {version}; refusing a partial recovery"
+                    )
+                rec_epoch = data.get("epoch", 0)
+                if not isinstance(rec_epoch, int):
+                    raise RecoveryError(
+                        f"WAL record for version {version} carries a "
+                        "malformed epoch"
+                    )
+                if rec_epoch < self.epoch:
+                    raise FencingError(
+                        f"stale-epoch append: record for version {version} "
+                        f"carries epoch {rec_epoch} but the store has seen "
+                        f"epoch {self.epoch}; rejecting a fenced leader's "
+                        "write"
+                    )
+                if rec_epoch > self.epoch:
+                    raise RecoveryError(
+                        f"record for version {version} claims epoch "
+                        f"{rec_epoch} which no epoch record announced "
+                        f"(current {self.epoch}); the log is corrupt"
                     )
                 try:
                     if kind == KIND_DELTA:

@@ -6,12 +6,23 @@ frames of :mod:`repro.storage.codec`, one per line, with strictly
 increasing ``version`` fields across the whole log.  Three kinds ride in
 the WAL:
 
-* ``delta``    — one committed batch: ``{version, adds, dels}`` with atoms
-  in concrete syntax (sorted, so records are deterministic);
-* ``program``  — a program replacement: ``{version, source}``;
+* ``delta``    — one committed batch: ``{version, epoch, adds, dels}``
+  with atoms in concrete syntax (sorted, so records are deterministic);
+* ``program``  — a program replacement: ``{version, epoch, source}``;
 * ``abort``    — a tombstone: the *previous* record with the same version
   was logged but its application failed before publication; replay skips
-  the pair (see :meth:`repro.storage.durable.DurableModel.apply_delta`).
+  the pair (see :meth:`repro.storage.durable.DurableModel.apply_delta`);
+* ``epoch``    — a fencing bump: ``{version, epoch}`` recorded at
+  promotion time.  ``version`` is the version the store held when the
+  bump happened (epoch records publish nothing); every later delta and
+  program record carries the new epoch, and replay rejects any record
+  whose epoch is *lower* than one already seen — a fenced old leader's
+  appends can never sneak into a promoted lineage (see
+  DESIGN.md, "Replication & failover").
+
+Records written before the replication PR carry no ``epoch`` field;
+decoders treat a missing epoch as ``0``, so pre-existing logs replay
+unchanged.
 
 Durability contract.  :meth:`append` returns only after the line is
 written and — under the default ``fsync="always"`` policy — flushed to
@@ -41,6 +52,7 @@ from ..core.atoms import Atom
 from .codec import (
     KIND_ABORT,
     KIND_DELTA,
+    KIND_EPOCH,
     KIND_PROGRAM,
     CodecError,
     RecoveryError,
@@ -105,32 +117,48 @@ class WriteAheadLog:
     # -- appending ---------------------------------------------------------------
 
     def append_delta(
-        self, version: int, adds: Iterable[Atom], dels: Iterable[Atom]
-    ) -> None:
+        self,
+        version: int,
+        adds: Iterable[Atom],
+        dels: Iterable[Atom],
+        epoch: int = 0,
+    ) -> dict:
         """Log one committed batch; returns once it is durable."""
-        self._append(KIND_DELTA, version, {
+        return self._append(KIND_DELTA, version, {
             "version": version,
+            "epoch": epoch,
             "adds": encode_atoms(adds),
             "dels": encode_atoms(dels),
         })
 
-    def append_program(self, version: int, source: str) -> None:
+    def append_program(
+        self, version: int, source: str, epoch: int = 0
+    ) -> dict:
         """Log a program replacement publishing ``version``."""
-        self._append(KIND_PROGRAM, version, {
-            "version": version, "source": source,
+        return self._append(KIND_PROGRAM, version, {
+            "version": version, "epoch": epoch, "source": source,
         })
 
-    def append_abort(self, version: int) -> None:
+    def append_abort(self, version: int) -> dict:
         """Tombstone: the record logged for ``version`` was never applied."""
-        self._append(KIND_ABORT, version, {"version": version})
+        return self._append(KIND_ABORT, version, {"version": version})
 
-    def _append(self, kind: str, version: int, data: dict) -> None:
+    def append_epoch(self, version: int, epoch: int) -> dict:
+        """Log a fencing bump to ``epoch`` at the store's ``version``."""
+        return self._append(KIND_EPOCH, version, {
+            "version": version, "epoch": epoch,
+        })
+
+    def _append(self, kind: str, version: int, data: dict) -> dict:
+        """Write one record durably; returns the exact data dict written
+        (callers forward it verbatim, e.g. to replication subscribers)."""
         line = encode_record(kind, data) + "\n"
         f = self._handle(version, len(line))
         f.write(line)
         f.flush()
         if self.fsync == FSYNC_ALWAYS:
             os.fsync(f.fileno())
+        return data
 
     def _handle(self, version: int, incoming: int):
         """The active segment's append handle, rotating when full."""
@@ -165,6 +193,36 @@ class WriteAheadLog:
             self._file = None
 
     # -- reading / recovery ------------------------------------------------------
+
+    def first_version(self) -> Optional[int]:
+        """The version of the oldest record still on disk (``None`` when
+        the log is empty).  After checkpoint truncation this is the floor
+        of what :meth:`records_from` can serve — a follower further behind
+        needs a snapshot bootstrap instead."""
+        for seg in self.segments():
+            for line in self._lines(seg):
+                try:
+                    _, data = decode_record(line)
+                except CodecError:
+                    return None        # torn/corrupt head: no safe floor
+                if isinstance(data, dict) and isinstance(
+                    data.get("version"), int
+                ):
+                    return data["version"]
+        return None
+
+    def records_from(self, version: int) -> list[tuple[str, Any]]:
+        """Committed records with ``version > version`` — the tail a
+        follower at ``version`` must replay to catch up.
+
+        Abort tombstones and the failed appends they cancel are dropped
+        (the shipping stream only ever carries published history); epoch
+        bumps are kept because followers must learn the fencing state.
+        Strict like :meth:`records`: an undecodable line raises — the tail
+        of a live leader's WAL is only read under the model write lock,
+        where a torn final record cannot be observed.
+        """
+        return committed_records(self.records(), from_version=version)
 
     def records(self) -> list[tuple[str, Any]]:
         """Decode every record, strict: any undecodable line raises."""
@@ -275,3 +333,42 @@ class WriteAheadLog:
             else:
                 break
         return removed
+
+
+def committed_records(
+    records: list[tuple[str, Any]], from_version: int = 0
+) -> list[tuple[str, Any]]:
+    """The published suffix of a record list: versions ``> from_version``,
+    with abort tombstones and the appends they cancel removed.
+
+    This is the shared filter between recovery replay and WAL shipping: a
+    ``(record, abort)`` pair for the same version documents a logged batch
+    that was never applied or acknowledged, so neither a recovering store
+    nor a follower must ever see it.
+    """
+    out: list[tuple[str, Any]] = []
+    i = 0
+    while i < len(records):
+        kind, data = records[i]
+        version = data.get("version") if isinstance(data, dict) else None
+        if kind == KIND_ABORT:
+            i += 1
+            continue
+        nxt = records[i + 1] if i + 1 < len(records) else None
+        if (
+            nxt is not None
+            and nxt[0] == KIND_ABORT
+            and isinstance(nxt[1], dict)
+            and nxt[1].get("version") == version
+        ):
+            i += 2
+            continue
+        # Epoch bumps publish no version of their own (they are recorded
+        # *at* the store's current version), so a follower sitting exactly
+        # on the bump version still needs them; application is idempotent.
+        if isinstance(version, int):
+            floor = from_version - 1 if kind == KIND_EPOCH else from_version
+            if version > floor:
+                out.append((kind, data))
+        i += 1
+    return out

@@ -421,6 +421,59 @@ def crash_recovery(
     )
 
 
+@dataclass(frozen=True)
+class FailoverPlan:
+    """A deterministic replicated-write schedule with fault injections.
+
+    ``batches[i]`` is the i-th committed delta applied on the leader;
+    ``drop_stream_after`` lists batch indices after which the harness
+    severs the follower replication streams (a torn stream plus reconnect
+    must be idempotent — no lost or doubled records);
+    ``kill_leader_after`` is the batch index after which the leader is
+    killed and the most caught-up follower promoted — the remaining
+    batches go to the new leader.  All drawn from the seed, so a failover
+    bug reproduces from ``(workload args, seed)``.
+    """
+
+    program: str
+    initial_facts: tuple[tuple, ...]
+    batches: tuple[ChurnBatch, ...]
+    drop_stream_after: tuple[int, ...]
+    kill_leader_after: int
+
+
+def failover_plan(
+    n_nodes: int = 12,
+    n_edges: int = 24,
+    n_batches: int = 18,
+    batch_size: int = 2,
+    n_drops: int = 3,
+    n_sets: int = 4,
+    seed: int = 0,
+) -> FailoverPlan:
+    """Edge churn over :data:`CRASH_RECOVERY_PROGRAM` with replication
+    faults: the same program/fact mix as :func:`crash_recovery` (so
+    shipped records carry set terms and exercise every maintenance plan
+    class), stream drops in the first two thirds of the run, and the
+    leader kill at the two-thirds mark."""
+    rng = random.Random(seed + 7)
+    base = crash_recovery(
+        n_nodes=n_nodes, n_edges=n_edges, n_batches=n_batches,
+        batch_size=batch_size, n_crashes=0, n_sets=n_sets, seed=seed,
+    )
+    kill_after = max(1, (2 * n_batches) // 3)
+    drops = tuple(sorted(rng.sample(
+        range(kill_after), min(n_drops, kill_after)
+    )))
+    return FailoverPlan(
+        program=base.program,
+        initial_facts=base.initial_facts,
+        batches=base.batches,
+        drop_stream_after=drops,
+        kill_leader_after=kill_after,
+    )
+
+
 def number_set(n: int, seed: int = 0) -> frozenset[int]:
     """``n`` distinct positive integers (for the Example 5 sum benchmark)."""
     rng = random.Random(seed)

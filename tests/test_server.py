@@ -12,6 +12,9 @@ Two contracts:
   the shared model fully usable.
 """
 
+import socket
+import time
+
 import pytest
 
 from repro import parse_program
@@ -19,11 +22,15 @@ from repro.core import atom, const
 from repro.engine import Database, Evaluator
 from repro.engine.setops import with_set_builtins
 from repro.server import (
+    Backoff,
     E_BATCH,
     E_CLOSED,
+    E_CLOSING,
     E_COMMAND,
+    E_NOT_YET,
     E_PARSE,
     E_RETIRED,
+    E_UNKNOWN_VERSION,
     E_UNSAFE,
     LineClient,
     QueryService,
@@ -219,6 +226,50 @@ class TestTimeTravel:
         assert data["latest"] == 2 and data["reading"] == 2
         svc.shutdown()
 
+    def test_at_beyond_latest_is_unknown_version(self):
+        """``:at N`` for a version that was never created (beyond
+        ``latest``, not retired) is its own structured error — on a
+        leader the version cannot exist anywhere, so it is not
+        retryable."""
+        svc = service()
+        s = svc.open_session()
+        s.execute("+e(a, b).")                 # latest == 2
+        r = s.execute(":at 99")
+        assert not r.ok and r.code == E_UNKNOWN_VERSION
+        assert r.data["latest"] == 2
+        # The session still follows the head afterwards.
+        assert s.execute("?- e(a, b).").data["truth"]
+        assert s.execute(":version").data["reading"] == 2
+        svc.shutdown()
+
+    def test_at_beyond_applied_on_follower_is_retryable(self, tmp_path):
+        """The same probe against a follower is ``not_yet_applied``:
+        the version may exist upstream, so the client can wait-or-retry
+        (and ``:sync`` is the wait)."""
+        from repro.replication import FollowerService, ReplicationHub
+
+        svc = QueryService(
+            TC_SOURCE, data_dir=tmp_path / "leader", fsync="never",
+            checkpoint_every=None,
+        )
+        ReplicationHub.attach(svc)
+        with run_in_thread(svc) as h:
+            f = FollowerService(
+                h.addr, tmp_path / "f", fsync="never",
+                checkpoint_every=None, backoff_initial=0.02,
+                read_timeout=0.25,
+            )
+            fsvc = f.start()
+            try:
+                s = fsvc.open_session()
+                r = s.execute(":at 99")
+                assert not r.ok and r.code == E_NOT_YET
+                assert r.data["retryable"] is True
+                assert isinstance(r.data["latest"], int)
+            finally:
+                f.stop()
+        svc.shutdown()
+
 
 class TestErrorPaths:
     def test_parse_error_is_structured_and_harmless(self):
@@ -381,3 +432,94 @@ class TestProtocol:
     def test_response_json_round_trip(self):
         r = Response(ok=True, kind="answers", data={"x": 1}, version=3)
         assert Response.from_json(r.to_json()) == r
+
+
+class TestClientReconnect:
+    def test_default_is_single_attempt(self):
+        with pytest.raises(ConnectionError, match="after 1 attempt"):
+            LineClient("127.0.0.1", 1).send(":version")
+
+    def test_bounded_attempts_are_counted(self):
+        start = time.monotonic()
+        with pytest.raises(ConnectionError, match="after 3 attempt"):
+            LineClient(
+                "127.0.0.1", 1, max_attempts=3,
+                backoff_initial=0.01, backoff_max=0.05,
+            ).send(":version")
+        assert time.monotonic() - start < 5.0   # bounded, not unbounded
+
+    def test_send_retries_across_server_restart(self):
+        # Pin a port so a second server can come back on the same address.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        svc1 = service()
+        h1 = run_in_thread(svc1, port=port)
+        client = LineClient(
+            "127.0.0.1", port, max_attempts=5,
+            backoff_initial=0.02, backoff_max=0.2,
+        )
+        try:
+            assert client.send("+e(a, b).").ok
+            h1.stop()
+            svc1.shutdown()
+            svc2 = service()
+            with run_in_thread(svc2, port=port):
+                # The dead connection is torn down and rebuilt under the
+                # same send() call — no exception reaches the caller.
+                assert client.send(":version").ok
+            svc2.shutdown()
+        finally:
+            client.close()
+
+    def test_backoff_is_bounded_with_jitter(self):
+        b = Backoff(initial=0.1, maximum=1.0, factor=2.0)
+        delays = [b.next_delay() for _ in range(8)]
+        for i, d in enumerate(delays):
+            ceiling = min(1.0, 0.1 * 2.0 ** i)
+            assert ceiling / 2 <= d <= ceiling
+        b.reset()
+        assert b.next_delay() <= 0.1
+
+
+class TestGracefulShutdown:
+    def test_idle_connection_gets_server_closing(self):
+        """stop() drains and notifies: an idle client receives a
+        structured ``server_closing`` response instead of a dropped
+        socket mid-line."""
+        svc = service()
+        h = run_in_thread(svc)
+        raw = socket.create_connection((h.host, h.port), timeout=10)
+        try:
+            raw.sendall(b"+e(a, b).\n")
+            reply = raw.makefile().readline()
+            assert Response.from_json(reply).ok
+            h.stop()
+            closing = raw.makefile().readline()
+            r = Response.from_json(closing)
+            assert not r.ok and r.code == E_CLOSING
+        finally:
+            raw.close()
+            svc.shutdown()
+
+    def test_stop_timeout_is_configurable(self):
+        svc = service()
+        h = run_in_thread(svc, stop_timeout=2.0)
+        with LineClient(h.host, h.port) as c:
+            assert c.send(":version").ok
+        h.stop()
+        h.stop()                           # idempotent
+        svc.shutdown()
+
+    def test_in_flight_response_completes_before_close(self):
+        svc = service()
+        h = run_in_thread(svc)
+        with LineClient(h.host, h.port) as c:
+            for i in range(20):
+                assert c.send(f"+e(v{i}, v{i+1}).").ok
+            # Stop while the connection is live: the last acknowledged
+            # write must be durable in the model, not dropped mid-line.
+            h.stop()
+        assert svc.model.version == 21
+        svc.shutdown()

@@ -18,6 +18,7 @@ from repro.core import app, atom, const, setvalue
 from repro.lang import pretty_program
 from repro.storage import (
     CodecError,
+    DurableModel,
     RecoveryError,
     WriteAheadLog,
     decode_record,
@@ -185,9 +186,10 @@ class TestWal:
         recs = WriteAheadLog(tmp_path).records()
         assert [k for k, _ in recs] == ["delta", "program", "abort"]
         assert recs[0][1] == {
-            "version": 2, "adds": ["e(a, b)"], "dels": ["e(b, c)"],
+            "version": 2, "epoch": 0,
+            "adds": ["e(a, b)"], "dels": ["e(b, c)"],
         }
-        assert recs[1][1] == {"version": 3, "source": "p(a)."}
+        assert recs[1][1] == {"version": 3, "epoch": 0, "source": "p(a)."}
         assert recs[2][1] == {"version": 4}
 
     def test_segment_rotation_and_truncation(self, tmp_path):
@@ -286,6 +288,98 @@ class TestWal:
 
 
 # ---------------------------------------------------------------------------
+# Recovery idempotence: quarantine sidecars vs truncation, double recovery
+# ---------------------------------------------------------------------------
+
+class TestRecoveryIdempotence:
+    def test_quarantine_sidecar_orphaned_by_truncation_is_harmless(
+        self, tmp_path
+    ):
+        """A repair leaves a ``*.quarantine-<n>`` sidecar next to its
+        segment; when a later checkpoint truncates that segment away,
+        the orphaned sidecar must never confuse subsequent recoveries —
+        it is evidence, not state."""
+        wal = _wal_with_records(tmp_path, n=6, segment_max_bytes=100)
+        torn = wal.segments()[-1]
+        torn.write_bytes(torn.read_bytes()[:-4])
+        recs = WriteAheadLog(tmp_path, fsync="never").recover_records()
+        sidecars = list(tmp_path.glob("*.quarantine-*"))
+        assert len(sidecars) == 1
+        assert sidecars[0].name.startswith(torn.name)
+        last = recs[-1][1]["version"]
+
+        # More traffic rotates past the repaired segment, then a
+        # checkpoint-driven truncation deletes it — the sidecar stays.
+        wal2 = WriteAheadLog(tmp_path, fsync="never",
+                             segment_max_bytes=100)
+        for v in range(last + 1, last + 5):
+            wal2.append_delta(v, [atom("e", const(f"x{v}"), const("y"))],
+                              [])
+        wal2.close()
+        removed = wal2.truncate_through(last + 4)
+        assert torn in removed
+        assert not torn.exists() and sidecars[0].exists()
+
+        # Recovery is now a pure read: run it twice, demand identical
+        # records, an unchanged directory, and no second sidecar.
+        def listing():
+            return sorted(
+                (p.name, p.stat().st_size) for p in tmp_path.iterdir()
+            )
+
+        first = WriteAheadLog(tmp_path, fsync="never").recover_records()
+        files = listing()
+        second = WriteAheadLog(tmp_path, fsync="never").recover_records()
+        assert first == second
+        assert listing() == files
+        assert len(list(tmp_path.glob("*.quarantine-*"))) == 1
+
+    def test_double_recovery_same_dir_is_noop(self, tmp_path):
+        """``DurableModel.recover`` twice over one directory: the first
+        pass may repair a torn tail; the second must reproduce the same
+        version and model while touching nothing on disk."""
+        from repro.engine.setops import with_set_builtins
+
+        m = DurableModel(
+            parse_program("t(X, Y) :- e(X, Y)."), tmp_path, Database(),
+            builtins=with_set_builtins(), fsync="never",
+            checkpoint_every=None,
+        )
+        for i in range(3):
+            m.apply_delta(adds=[("e", f"a{i}", "b")], dels=[])
+        m.close()
+        seg = WriteAheadLog(tmp_path).segments()[-1]
+        seg.write_bytes(seg.read_bytes()[:-3])   # crash signature
+
+        def recover():
+            model = DurableModel.recover(
+                tmp_path, builtins=with_set_builtins(), fsync="never",
+                checkpoint_every=None,
+            )
+            try:
+                return (
+                    model.version,
+                    model.epoch,
+                    sorted(str(a) for a in model.current.interpretation),
+                    sorted(str(a) for a in model.current.database.facts()),
+                )
+            finally:
+                model.close()
+
+        def listing():
+            return sorted(
+                (p.name, p.stat().st_size) for p in tmp_path.iterdir()
+            )
+
+        first = recover()
+        assert first[0] == 3               # the torn fourth batch is gone
+        files = listing()
+        assert any("quarantine" in name for name, _ in files)
+        assert recover() == first
+        assert listing() == files          # second recovery wrote nothing
+
+
+# ---------------------------------------------------------------------------
 # Checkpoints
 # ---------------------------------------------------------------------------
 
@@ -308,8 +402,9 @@ class TestCheckpoint:
     def test_round_trip(self, tmp_path):
         path = write_checkpoint(tmp_path, 7, PROGRAM, _db(), fsync=False)
         assert path.name == "ckpt-0000000000000007.json"
-        version, program, db = load_checkpoint(path)
+        version, epoch, program, db = load_checkpoint(path)
         assert version == 7
+        assert epoch == 0
         assert program == PROGRAM
         assert sorted(map(str, db.facts())) == \
             sorted(map(str, _db().facts()))
