@@ -1,0 +1,192 @@
+"""B-columnar — vectorized ID-column kernels vs the row executor.
+
+The columnar executor (``engine/columnar.py``) must earn its keep where
+set-at-a-time plans are join-bound: the same compiled plans evaluated
+with ``EvalOptions.columnar`` on and off, on
+
+* a selective join projection (``q(X) :- r(X,Y), s(Y,Z)`` — the head
+  projects away the join width, so the ID-side dedup collapses the
+  output before any decode),
+* a multi-query program (four selective rules over the same two
+  relations — the relation columns are encoded once and reused),
+* transitive closure of a dense random digraph (many semi-naive rounds
+  of delta-pinned joins),
+* a wide-output join (``q(X, Z)``) where decode cost bounds the win —
+  kept as coverage that output-heavy plans do not regress,
+* repeated session queries against a warm query-service model (the
+  relation columns are already cached, so this isolates plan execution
+  from evaluator construction and bulk fact loading).
+
+``test_columnar_speedup_floor`` enforces the acceptance criterion — the
+columnar path at least 2× faster than the row executor on at least two
+workloads — with min-of-k on both sides so scheduler noise cancels.
+Record results under the ``columnar`` label::
+
+    python benchmarks/run_benchmarks.py --label columnar --files test_bench_columnar.py
+"""
+
+import os
+import random
+import time
+
+import pytest
+
+from repro import parse_program
+from repro.engine import Database, Evaluator
+from repro.engine.columnar import HAS_NUMPY
+from repro.engine.evaluation import EvalOptions
+from repro.engine.setops import with_set_builtins
+
+MODES = {"columnar": True, "row": False}
+
+JOIN_SELECT = parse_program("q(X) :- r(X, Y), s(Y, Z).")
+JOIN_WIDE = parse_program("q(X, Z) :- r(X, Y), s(Y, Z).")
+MULTI = parse_program("""
+q1(X) :- r(X, Y), s(Y, Z).
+q2(Z) :- r(X, Y), s(Y, Z).
+q3(Y) :- r(X, Y), s(Y, X).
+q4(Y) :- r(X, Y), s(Y, Z), X = Z.
+""")
+TC = parse_program("""
+t(X, Y) :- e(X, Y).
+t(X, Z) :- e(X, Y), t(Y, Z).
+""")
+
+
+def join_db(n, keys, seed=0):
+    rng = random.Random(seed)
+    db = Database()
+    for _ in range(n):
+        db.add("r", f"a{rng.randrange(keys)}", f"b{rng.randrange(keys)}")
+        db.add("s", f"b{rng.randrange(keys)}", f"c{rng.randrange(keys)}")
+    return db
+
+
+def rand_graph_db(n_nodes, n_edges, seed=2):
+    rng = random.Random(seed)
+    db = Database()
+    for _ in range(n_edges):
+        db.add("e", f"n{rng.randrange(n_nodes)}", f"n{rng.randrange(n_nodes)}")
+    return db
+
+
+def run(program, db, columnar: bool):
+    options = EvalOptions(compile_plans=True, columnar=columnar)
+    return Evaluator(program, db, builtins=with_set_builtins(),
+                     options=options).run()
+
+
+SERVER_QUERIES = [
+    "r(X, Y), s(Y, X)",
+    "r(X, Y), s(Y, Z), u(Z, X)",
+]
+
+
+def triple_db(n, keys, seed=1):
+    rng = random.Random(seed)
+    db = Database()
+    for _ in range(n):
+        db.add("r", f"k{rng.randrange(keys)}", f"k{rng.randrange(keys)}")
+        db.add("s", f"k{rng.randrange(keys)}", f"k{rng.randrange(keys)}")
+        db.add("u", f"k{rng.randrange(keys)}", f"k{rng.randrange(keys)}")
+    return db
+
+
+def open_service(db, columnar: bool):
+    from repro.server import QueryService
+
+    svc = QueryService("p(a) :- r(a, a).", database=db,
+                       options=EvalOptions(columnar=columnar))
+    session = svc.open_session()
+    for q in SERVER_QUERIES:  # warm the model's relation columns
+        session.query(q)
+    return svc, session
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_join_select(benchmark, mode):
+    db = join_db(20000, 2000)
+    result = benchmark(lambda: run(JOIN_SELECT, db, MODES[mode]))
+    assert result.relation("q")
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_join_wide(benchmark, mode):
+    db = join_db(12000, 1500)
+    result = benchmark(lambda: run(JOIN_WIDE, db, MODES[mode]))
+    assert result.relation("q")
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_multi_query(benchmark, mode):
+    db = join_db(20000, 2000)
+    result = benchmark(lambda: run(MULTI, db, MODES[mode]))
+    assert result.relation("q1") and result.relation("q2")
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_tc_random(benchmark, mode):
+    db = rand_graph_db(350, 1200)
+    result = benchmark(lambda: run(TC, db, MODES[mode]))
+    assert result.relation("t")
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_server_queries(benchmark, mode):
+    svc, session = open_service(triple_db(20000, 1000), MODES[mode])
+    try:
+        result = benchmark(
+            lambda: [len(session.query(q).rows) for q in SERVER_QUERIES]
+        )
+        assert all(result)
+    finally:
+        svc.shutdown()
+
+
+@pytest.mark.skipif(not HAS_NUMPY, reason="columnar kernels need numpy")
+@pytest.mark.skipif(
+    os.environ.get("SKIP_TIMING_ASSERTS") == "1",
+    reason="wall-clock assertion disabled (coverage-instrumented CI job; "
+           "the dedicated benchmarks job still enforces it)",
+)
+def test_columnar_speedup_floor():
+    """Acceptance floor: ≥2× over the row executor on ≥2 workloads
+    (observed: server-queries ~4-5×, join-select/multi-query ~2.5-3.5×,
+    tc-random ~1.6-2.8×)."""
+
+    def best_of(fn, k=3):
+        best = float("inf")
+        for _ in range(k):
+            t0 = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    workloads = {
+        "join-select": (JOIN_SELECT, join_db(20000, 2000)),
+        "multi-query": (MULTI, join_db(20000, 2000)),
+        "tc-random": (TC, rand_graph_db(350, 1200)),
+    }
+    speedups = {}
+    for name, (program, db) in workloads.items():
+        columnar = best_of(lambda: run(program, db, True))
+        row = best_of(lambda: run(program, db, False))
+        speedups[name] = row / columnar
+
+    db = triple_db(20000, 1000)
+    times = {}
+    for mode, columnar in MODES.items():
+        svc, session = open_service(db, columnar)
+        try:
+            times[mode] = best_of(
+                lambda: [session.query(q) for q in SERVER_QUERIES]
+            )
+        finally:
+            svc.shutdown()
+    speedups["server-queries"] = times["row"] / times["columnar"]
+
+    fast_enough = [n for n, s in speedups.items() if s >= 2.0]
+    assert len(fast_enough) >= 2, (
+        "columnar executor beat the row executor 2x on fewer than two "
+        f"workloads: {({n: round(s, 2) for n, s in speedups.items()})}"
+    )

@@ -45,9 +45,18 @@ dataclasses for hand-written classes with three properties:
   results are cached per node, and :meth:`SetValue.sorted_elems` keeps its
   deterministic ordering, so quantifier unfolding does not re-sort the same
   range set on every solver step.
+* **Dense term IDs.**  :data:`TERM_DICT` assigns every term that reaches a
+  columnar batch a dense integer ID (see DESIGN.md, "Columnar execution").
+  The dictionary is append-only and holds strong references, so an ID never
+  changes or disappears for the lifetime of the process — which is what
+  makes IDs stable across model snapshots, WAL-replay recovery and
+  replication re-seeds, all of which re-intern the same terms in-process.
+  IDs are *never* persisted: the WAL and checkpoints store terms
+  textually, and every recovery re-encodes from scratch.
 
 Terms remain immutable by contract: no code in the repository mutates a
-constructed node, and the caches above depend on that.
+constructed node, and the caches above depend on that.  (The ``_tid``
+slot is a cache of the node's :data:`TERM_DICT` ID, not term state.)
 """
 
 from __future__ import annotations
@@ -93,7 +102,7 @@ class Var(Term):
     is authoritative.
     """
 
-    __slots__ = ("name", "var_sort", "_hash", "__weakref__")
+    __slots__ = ("name", "var_sort", "_hash", "_tid", "__weakref__")
 
     def __new__(cls, name: str, var_sort: str = SORT_A) -> "Var":
         key = (name, var_sort)
@@ -105,6 +114,7 @@ class Var(Term):
         self = super().__new__(cls)
         self.name = name
         self.var_sort = var_sort
+        self._tid = -1
         self._hash = hash((Var, name, var_sort))
         if cls is Var:
             _VAR_INTERN[key] = self
@@ -147,7 +157,7 @@ class Const(Term):
     constant, used by the arithmetic built-ins of Examples 5 and 6).
     """
 
-    __slots__ = ("value", "_hash", "__weakref__")
+    __slots__ = ("value", "_hash", "_tid", "__weakref__")
 
     def __new__(cls, value: ConstPayload) -> "Const":
         # Key by (type, value) so 1 and True stay distinct objects even
@@ -159,6 +169,7 @@ class Const(Term):
                 return self
         self = super().__new__(cls)
         self.value = value
+        self._tid = -1
         self._hash = hash((Const, value))
         if cls is Const:
             _CONST_INTERN[key] = self
@@ -200,7 +211,7 @@ class App(Term):
     arguments (Definition 9(3)).
     """
 
-    __slots__ = ("fname", "args", "_hash", "_ground", "_canon")
+    __slots__ = ("fname", "args", "_hash", "_ground", "_canon", "_tid")
 
     def __init__(self, fname: str, args: tuple[Term, ...]) -> None:
         for arg in args:
@@ -214,6 +225,7 @@ class App(Term):
         self._hash = -1
         self._ground = None
         self._canon = None
+        self._tid = -1
 
     def __getnewargs__(self):  # pragma: no cover - pickling support
         return (self.fname, self.args)
@@ -267,13 +279,14 @@ class SetExpr(Term):
     when ``strict_lps`` terms are checked by the clause layer, not here.
     """
 
-    __slots__ = ("elems", "_hash", "_ground", "_canon")
+    __slots__ = ("elems", "_hash", "_ground", "_canon", "_tid")
 
     def __init__(self, elems: tuple[Term, ...]) -> None:
         self.elems = elems
         self._hash = -1
         self._ground = None
         self._canon = None
+        self._tid = -1
 
     def __getnewargs__(self):  # pragma: no cover - pickling support
         return (self.elems,)
@@ -319,7 +332,7 @@ class SetValue(Term):
     the implementation.  Interned: equal sets are the same object.
     """
 
-    __slots__ = ("elems", "_hash", "_sorted", "__weakref__")
+    __slots__ = ("elems", "_hash", "_sorted", "_tid", "__weakref__")
 
     def __new__(cls, elems: frozenset = frozenset()) -> "SetValue":
         if elems.__class__ is not frozenset:
@@ -340,6 +353,7 @@ class SetValue(Term):
         self.elems = elems
         self._hash = hash((SetValue, elems))
         self._sorted = None
+        self._tid = -1
         if cls is SetValue:
             _SET_INTERN[elems] = self
         return self
@@ -505,6 +519,77 @@ def order_key(term: Term):
     if isinstance(term, SetExpr):
         return (4, len(term.elems), tuple(order_key(e) for e in term.elems))
     raise TypeError(f"not a term: {term!r}")
+
+
+# ---------------------------------------------------------------------------
+# The term dictionary: dense integer IDs for columnar execution.
+# ---------------------------------------------------------------------------
+
+class TermDict:
+    """Append-only dictionary assigning dense integer IDs to terms.
+
+    The columnar executor (``repro.engine.columnar``) represents batches
+    as ``array('q')`` columns of these IDs; two cells join/deduplicate
+    equal exactly when their IDs are equal, because :meth:`id_of` keys on
+    term equality.  Three properties the executor relies on:
+
+    * **Dense and append-only** — the first distinct term seen gets ID 0,
+      the next ID 1, and so on; an assigned ID is never reused or
+      remapped, so IDs taken at different times (e.g. across model
+      snapshots, or before and after a WAL replay) remain comparable.
+    * **Strong references** — ``terms[i]`` pins the term, so the
+      weak-valued intern tables above can never drop a term that has an
+      ID; re-interning always returns the object whose ``_tid`` slot
+      already caches its ID.
+    * **Process-local** — IDs are never written to the WAL, checkpoints
+      or the replication stream; recovery and re-seeding re-encode.
+
+    One process-wide instance (:data:`TERM_DICT`) exists; hot loops bind
+    ``ids``/``terms`` directly.
+    """
+
+    __slots__ = ("ids", "terms")
+
+    def __init__(self) -> None:
+        #: term -> ID (structural equality, so non-interned but equal
+        #: ``App`` nodes share one ID).
+        self.ids: dict[Term, int] = {}
+        #: ID -> term, densely indexed (the decode side).
+        self.terms: list[Term] = []
+
+    def id_of(self, term: Term) -> int:
+        """The term's dense ID, assigned on first sight."""
+        i = term._tid
+        if i >= 0:
+            return i
+        i = self.ids.get(term)
+        if i is None:
+            i = len(self.terms)
+            self.ids[term] = i
+            self.terms.append(term)
+        term._tid = i
+        return i
+
+    def term_of(self, tid: int) -> Term:
+        """The term behind a dense ID (inverse of :meth:`id_of`)."""
+        return self.terms[tid]
+
+    def __len__(self) -> int:
+        return len(self.terms)
+
+
+#: The process-wide term dictionary (see :class:`TermDict`).
+TERM_DICT = TermDict()
+
+
+def term_id(term: Term) -> int:
+    """Module-level convenience for :meth:`TermDict.id_of`."""
+    return TERM_DICT.id_of(term)
+
+
+def term_of(tid: int) -> Term:
+    """Module-level convenience for :meth:`TermDict.term_of`."""
+    return TERM_DICT.terms[tid]
 
 
 # ---------------------------------------------------------------------------

@@ -12,6 +12,9 @@
   rule bodies compile to Scan/Join/AntiJoin/… operator trees executed
   set-at-a-time over the interpretation's argument indexes, with the
   tuple-at-a-time solver as the equivalence-tested fallback;
+* :mod:`repro.engine.columnar` — the columnar executor: capable plan
+  operators run over dense interned-term-ID columns (``array('q')``),
+  decoding to term objects only at plan boundaries;
 * :mod:`repro.engine.maintenance` — incremental model maintenance
   (counting + DRed + per-stratum recompute) for batched insert/delete
   fact streams;
@@ -36,6 +39,7 @@ from .evaluation import (
     SolverStats,
     solve,
 )
+from .columnar import ColumnarExecutor, columnar_capable, make_executor
 from .executor import Executor, PlanInapplicable
 from .ir import MODE_SET, MODE_TUPLE, ExecStats
 from .maintenance import (
@@ -67,6 +71,9 @@ __all__ = [
     "Model",
     "solve",
     "Executor",
+    "ColumnarExecutor",
+    "columnar_capable",
+    "make_executor",
     "PlanInapplicable",
     "ExecStats",
     "MODE_SET",

@@ -1,0 +1,750 @@
+"""Columnar plan execution over dense interned-term IDs.
+
+:class:`ColumnarExecutor` is a drop-in :class:`~repro.engine.executor.Executor`
+whose capable operators run on **ID columns** — one int64 vector of dense
+:data:`~repro.core.terms.TERM_DICT` IDs per schema variable — instead of
+batches of term-object tuples.  Joining, deduplicating, filtering and
+projecting integer vectors with numpy replaces the per-cell Python-level
+``Term.__hash__``/``__eq__`` calls that dominate the row kernels, while
+the append-only term dictionary guarantees *ID equality ⟺ term equality*
+for the canonical ground cells every plan produces, so the computed row
+sets are identical.
+
+Encode/decode boundaries (see DESIGN.md, "Columnar execution"):
+
+* **encode** — non-delta ``Scan`` nodes read the interpretation's cached
+  relation columns
+  (:meth:`~repro.semantics.interpretation.Interpretation.id_columns`,
+  built incrementally like its argument indexes) and filter them with
+  vector masks; delta scans and results of row-fallback operators are
+  encoded on (re-)entry to a columnar parent.
+* **decode** — ``batch()`` (the executor's public entry point) decodes the
+  final columns back to term rows for head materialization, and any
+  operator that must see real values (``Compute``, ``Unnest``, builtin
+  ``Select`` — plus generic-shape scans) runs the inherited row kernel
+  over its decoded input.  The per-node fallback keeps the plan running
+  columnar around type-sensitive islands.
+
+Capability is static per node (:func:`columnar_capable`): ``Unit``,
+``Join``, ``Project``, ``Distinct`` and ``GroupBy`` always qualify;
+``Scan`` needs a deterministic match shape; equality/membership
+``Select`` and relational ``AntiJoin`` need every argument to be a schema
+variable or ground.  Everything else — and every *dynamic* type
+misprediction, exactly as in the row executor — falls back, ultimately to
+:class:`~repro.engine.executor.PlanInapplicable` and the tuple solver, so
+the bit-identity invariant of ``tests/test_index_vs_scan.py`` extends
+across the full ``columnar × compile_plans × use_indexes × plan_joins``
+grid.
+
+numpy is the only soft dependency: without it :func:`make_executor`
+silently hands back the row executor, so ``EvalOptions.columnar`` is
+safe to leave on everywhere.
+"""
+
+from __future__ import annotations
+
+from itertools import repeat
+from typing import Mapping, Optional, Sequence
+
+try:  # gate, don't require: the row executor is the degraded mode
+    import numpy as _np
+except ImportError:  # pragma: no cover - image always has numpy
+    _np = None
+
+from ..core.atoms import Atom
+from ..core.terms import TERM_DICT, SetValue, Term, Var, canonicalize, setvalue
+from ..core.sorts import sorts_compatible
+from ..semantics.interpretation import INDEX_MIN_FACTS, Interpretation
+from .builtins import Builtin
+from .executor import _GENERIC, Executor, PlanInapplicable, _DISPATCH, _scan_shape
+from .ir import (
+    AntiJoin,
+    Distinct,
+    GroupBy,
+    Join,
+    PlanNode,
+    Project,
+    Row,
+    Scan,
+    Select,
+    Unit,
+)
+
+_ID_OF = TERM_DICT.id_of
+_TERMS = TERM_DICT.terms
+
+#: Whether the vectorized kernels are available (benchmarks and tests
+#: gate their columnar-vs-row comparisons on this).
+HAS_NUMPY = _np is not None
+
+#: Operators that are columnar-capable for every instance.
+_ALWAYS_COL = (Unit, Join, Project, Distinct, GroupBy)
+
+
+def _simple_args(
+    args: Sequence[Term], out_vars: tuple[Var, ...]
+) -> Optional[tuple]:
+    """Per-argument access plan when every arg is a schema variable or
+    ground: ``("col", index)`` or ``("term", canonical value)``; ``None``
+    when any argument is structured-with-variables or an unbound variable
+    (those need the row path's unification-aware resolvers)."""
+    pos = {v: i for i, v in enumerate(out_vars)}
+    metas = []
+    for t in args:
+        if t.__class__ is Var:
+            i = pos.get(t)
+            if i is None:
+                return None
+            metas.append(("col", i))
+        elif t.is_ground():
+            metas.append(("term", canonicalize(t)))
+        else:
+            return None
+    return tuple(metas)
+
+
+def _arg_meta(node: PlanNode, args, out_vars):
+    """``_simple_args`` memoized on the node (``False`` = not capable)."""
+    m = getattr(node, "_cmeta", None)
+    if m is None:
+        m = _simple_args(args, out_vars)
+        if m is None:
+            m = False
+        node._cmeta = m
+    return m
+
+
+def columnar_capable(node: PlanNode, builtins: Mapping[str, Builtin]) -> bool:
+    """Whether :class:`ColumnarExecutor` runs this node on ID columns.
+
+    Static per node; the executor re-checks dynamic predictions (e.g.
+    membership containers actually being sets) on real values at run
+    time, exactly like the row executor.
+    """
+    cls = node.__class__
+    if cls in _ALWAYS_COL:
+        return True
+    if cls is Scan:
+        shape = node._shape
+        if shape is None:
+            shape = node._shape = _scan_shape(node.atom, node.out_vars)
+        return shape is not _GENERIC
+    if cls is Select:
+        if node.kind == "builtin":
+            return False
+        return _arg_meta(
+            node, node.literal.atom.args, node.input.out_vars
+        ) is not False
+    if cls is AntiJoin:
+        a = node.atom
+        if a.is_special() or a.pred in builtins:
+            return False
+        return _arg_meta(node, a.args, node.input.out_vars) is not False
+    return False  # Compute, Unnest: bind new values per row
+
+
+def plan_mode_counts(
+    root: PlanNode, builtins: Mapping[str, Builtin]
+) -> tuple[int, int]:
+    """(columnar nodes, row-fallback nodes) the executor would choose."""
+    col = row = 0
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if columnar_capable(node, builtins):
+            col += 1
+        else:
+            row += 1
+        stack.extend(node.children())
+    return col, row
+
+
+def annotated_pretty(
+    node: PlanNode, builtins: Mapping[str, Builtin], indent: int = 0
+) -> str:
+    """``PlanNode.pretty`` with a per-node ``col``/``row`` mode tag, so
+    ``:plan`` shows exactly which operators vectorize."""
+    pad = "  " * indent
+    tag = "col" if columnar_capable(node, builtins) else "row"
+    out = [f"{pad}{node.label()}  ·{tag}"]
+    for c in node.children():
+        out.append(annotated_pretty(c, builtins, indent + 1))
+    return "\n".join(out)
+
+
+# ---------------------------------------------------------------------------
+# Vector helpers (all operate on / return int64 ndarrays)
+# ---------------------------------------------------------------------------
+
+#: Per-sort compatibility masks over the term dictionary, grown lazily so
+#: a scan's sort check becomes one fancy-index per column.  Entries are
+#: replaced, never mutated, so concurrently-running executors only risk
+#: duplicated work.
+_SORT_MASKS: dict = {}
+
+
+def _sort_mask(sort: str):
+    n = len(_TERMS)
+    cur = _SORT_MASKS.get(sort)
+    if cur is not None and cur[0] >= n:
+        return cur[1]
+    start, old = (0, None) if cur is None else cur
+    ext = _np.fromiter(
+        (sorts_compatible(sort, t.sort) for t in _TERMS[start:n]),
+        dtype=bool,
+        count=n - start,
+    )
+    arr = ext if old is None else _np.concatenate([old, ext])
+    _SORT_MASKS[sort] = (n, arr)
+    return arr
+
+
+def _pack(cols: list):
+    """Collapse parallel key columns into one int64 code column preserving
+    row equality (successive factorization keeps codes far below 2**63)."""
+    codes = cols[0]
+    for c in cols[1:]:
+        _, inv1 = _np.unique(codes, return_inverse=True)
+        u2, inv2 = _np.unique(c, return_inverse=True)
+        codes = inv1.astype(_np.int64) * u2.size + inv2.astype(_np.int64)
+    return codes
+
+
+def _key_col(cols: list, key_idx: tuple, n: int):
+    if len(key_idx) == 1:
+        return cols[key_idx[0]]
+    return _pack([cols[i] for i in key_idx])
+
+
+def _equi_join_idx(lk, rk):
+    """Matching (left, right) row-index vectors of an equi-join on packed
+    int64 key columns: sort the right side once, then binary-search every
+    left key and expand the hit ranges — no per-row Python at all."""
+    order = _np.argsort(rk, kind="stable")
+    rs = rk[order]
+    lo = _np.searchsorted(rs, lk, "left")
+    hi = _np.searchsorted(rs, lk, "right")
+    cnt = hi - lo
+    total = int(cnt.sum())
+    lidx = _np.repeat(_np.arange(lk.size), cnt)
+    starts = _np.repeat(lo, cnt)
+    offsets = _np.arange(total) - _np.repeat(_np.cumsum(cnt) - cnt, cnt)
+    ridx = order[starts + offsets]
+    return lidx, ridx
+
+
+def _take(cols: list, idx) -> list:
+    return [c[idx] for c in cols]
+
+
+def _distinct_cols_of(n: int, cols: list) -> tuple:
+    """Deduplicate ID rows, returning ``(n, cols)`` of the distinct rows."""
+    if not cols:
+        return (1 if n else 0), []
+    if n == 0:
+        return 0, cols
+    key = _key_col(cols, tuple(range(len(cols))), n)
+    _, first = _np.unique(key, return_index=True)
+    return int(first.size), _take(cols, first)
+
+
+def _empty_cols(n: int) -> list:
+    return [_np.empty(0, dtype=_np.int64) for _ in range(n)]
+
+
+#: Size gate: vectorizing pays a fixed per-node cost (ndarray setup,
+#: ``np.unique`` calls), while the row executor starts from its smallest
+#: input and probes indexes — so a plan fed by a tiny scan leaf (a
+#: single-fact maintenance delta, a near-empty relation) is cheaper
+#: row-at-a-time no matter how large the other leaves are.  Chosen at
+#: the maintenance-churn crossover; bulk loads and warm queries are
+#: unaffected because every leaf is a full relation.
+_MIN_VECTOR_ROWS = 64
+
+
+class ColumnarExecutor(Executor):
+    """Executes plans columnar where capable, row-at-a-time elsewhere.
+
+    Same constructor and public surface as :class:`Executor` —
+    ``batch()`` still returns term-tuple rows aligned with ``out_vars``
+    and ``heads()`` still materializes head atoms — so every consumer
+    (fixpoint, maintenance, server queries, recovery replay) swaps it in
+    without change.  Raises :class:`PlanInapplicable` under exactly the
+    same dynamic conditions as the row executor.
+    """
+
+    # -- entry points ------------------------------------------------------------
+
+    #: Per-instance copy of :data:`_MIN_VECTOR_ROWS`; equivalence tests
+    #: drop it to 0 to force the vector kernels on tiny relations.
+    min_vector_rows = _MIN_VECTOR_ROWS
+
+    def batch(self, node: PlanNode) -> list[Row]:
+        if columnar_capable(node, self.builtins) \
+                and self._vector_worthwhile(node):
+            n, cols = self.cols(node)
+            return self._decode(n, cols)
+        method = _DISPATCH.get(node.__class__)
+        if method is None:  # pragma: no cover - defensive
+            raise PlanInapplicable(
+                f"no executor for {node.__class__.__name__}"
+            )
+        self.stats.row_nodes += 1
+        return method(self, node)
+
+    def distinct_batch(self, node: PlanNode) -> list[Row]:
+        if not columnar_capable(node, self.builtins) \
+                or not self._vector_worthwhile(node):
+            return super().distinct_batch(node)
+        n, cols = self.cols(node)
+        n, cols = _distinct_cols_of(n, cols)
+        return self._decode(n, cols)
+
+    def shaped_batch(self, node: PlanNode, take: tuple[int, ...]) -> list[Row]:
+        if not columnar_capable(node, self.builtins) \
+                or not self._vector_worthwhile(node):
+            return super().shaped_batch(node, take)
+        n, cols = self.cols(node)
+        n, cols = _distinct_cols_of(n, [cols[i] for i in take])
+        return self._decode(n, cols)
+
+    def _vector_worthwhile(self, node: PlanNode) -> bool:
+        """Whether every scan leaf feeds at least ``min_vector_rows``
+        rows (see :data:`_MIN_VECTOR_ROWS`).
+
+        Memoized per executor (row kernels recurse through ``batch``, so
+        the same subtrees are asked repeatedly).  The gate is a pure
+        performance heuristic — both paths compute identical rows — so a
+        decision staying cached while the interpretation grows costs at
+        most a missed vectorization, never correctness."""
+        floor = self.min_vector_rows
+        if not floor:
+            return True
+        try:
+            cache = self._worth
+        except AttributeError:
+            cache = self._worth = {}
+        hit = cache.get(node)
+        if hit is not None:
+            return hit
+        delta = self.delta
+        if delta and min(map(len, delta.values())) < floor:
+            # Delta-pinned plan: the pinned scan reads exactly these
+            # facts, and semi-naive/maintenance deltas are usually tiny —
+            # answered from the dict sizes, no plan walk needed.
+            cache[node] = False
+            return False
+        worth = True
+        stack = [node]
+        while stack:
+            n = stack.pop()
+            if n.__class__ is Scan:
+                a = n.atom
+                if n.delta:
+                    rows = len(delta.get(a.pred, ())) if delta else 0
+                else:
+                    # For constant-bound scans the row executor reads an
+                    # index bucket, so that bucket — not the relation —
+                    # is the input to beat (same policy + estimate the
+                    # join planner uses).
+                    rows = self.interp.estimate_for_pattern(
+                        a.pred, a.args, self.use_indexes
+                    )
+                if rows < floor:
+                    worth = False
+                    break
+            else:
+                stack.extend(n.children())
+        cache[node] = worth
+        return worth
+
+    def cols(self, node: PlanNode) -> tuple:
+        """Execute a plan as ID columns aligned with ``node.out_vars``."""
+        cls = node.__class__
+        if columnar_capable(node, self.builtins):
+            self.stats.col_nodes += 1
+            return _COL_DISPATCH[cls](self, node)
+        method = _DISPATCH.get(cls)
+        if method is None:  # pragma: no cover - defensive
+            raise PlanInapplicable(f"no executor for {cls.__name__}")
+        self.stats.row_nodes += 1
+        return self._encode(method(self, node), len(node.out_vars))
+
+    # -- encode / decode ---------------------------------------------------------
+
+    def _encode(self, rows: list[Row], ncols: int) -> tuple:
+        n = len(rows)
+        self.stats.rows_encoded += n
+        if not ncols:
+            return n, []
+        id_of = _ID_OF
+        cols = [
+            _np.fromiter((id_of(r[j]) for r in rows), _np.int64, count=n)
+            for j in range(ncols)
+        ]
+        return n, cols
+
+    def _decode(self, n: int, cols: list) -> list[Row]:
+        self.stats.rows_decoded += n
+        if not cols:
+            return [()] * n
+        term = _TERMS.__getitem__
+        return list(zip(*[map(term, c.tolist()) for c in cols]))
+
+    # -- leaves ------------------------------------------------------------------
+
+    def _unit_cols(self, node: Unit) -> tuple:
+        self.stats.note(node.op, 0, 1)
+        return 1, []
+
+    def _scan_cols(self, node: Scan) -> tuple:
+        a = node.atom
+        var_pos, const_checks, dup_checks, var_sorts = node._shape
+        if not node.delta:
+            entry = self.interp.id_columns(a.pred)
+            if entry is not None:
+                arity, n, bufs = entry
+                if arity != a.arity:
+                    self.stats.note(node.op, n, 0)
+                    return 0, _empty_cols(len(var_pos))
+                cols = [_np.frombuffer(b, dtype=_np.int64) for b in bufs]
+                mask = None
+                for i, t in const_checks:
+                    m = cols[i] == _ID_OF(t)
+                    mask = m if mask is None else (mask & m)
+                for i, j in dup_checks:
+                    m = cols[i] == cols[j]
+                    mask = m if mask is None else (mask & m)
+                for p, s in var_sorts:
+                    m = _sort_mask(s)[cols[p]]
+                    mask = m if mask is None else (mask & m)
+                if mask is None:
+                    out = [cols[p] for p in var_pos]
+                    n_out = n
+                else:
+                    out = [cols[p][mask] for p in var_pos]
+                    n_out = int(mask.sum())
+                self.stats.note(node.op, n, n_out)
+                return n_out, out
+            facts = self.interp.candidates_for_pattern(
+                a.pred, a.args, use_indexes=self.use_indexes
+            )
+        else:
+            facts = self.delta.get(a.pred, ()) if self.delta is not None else ()
+        # Delta scans and uncacheable relations: encode while matching.
+        arity = a.arity
+        matched: list = []
+        append = matched.append
+        n_in = 0
+        for f in facts:
+            n_in += 1
+            args = f.args
+            if len(args) != arity:
+                continue
+            ok = True
+            for i, t in const_checks:
+                if args[i] is not t and args[i] != t:
+                    ok = False
+                    break
+            if ok:
+                for i, j in dup_checks:
+                    if args[i] is not args[j] and args[i] != args[j]:
+                        ok = False
+                        break
+            if ok:
+                for p, s in var_sorts:
+                    if not sorts_compatible(s, args[p].sort):
+                        ok = False
+                        break
+            if ok:
+                append(args)
+        id_of = _ID_OF
+        n_out = len(matched)
+        cols = [
+            _np.fromiter(
+                (id_of(args[p]) for args in matched), _np.int64, count=n_out
+            )
+            for p in var_pos
+        ]
+        self.stats.rows_encoded += n_out
+        self.stats.note(node.op, n_in, n_out)
+        return n_out, cols
+
+    # -- binary ------------------------------------------------------------------
+
+    def _join_cols(self, node: Join) -> tuple:
+        ln, lcols = self.cols(node.left)
+        meta = node._meta
+        if meta is None:
+            meta = node._meta = self._join_meta(node)
+        lkey, rkey, rtake, probe = meta
+        if ln and probe is not None and self.use_indexes:
+            probed = self._probe_join_cols(node, ln, lcols, lkey, probe)
+            if probed is not None:
+                return probed
+        rn, rcols = self.cols(node.right)
+        if not ln or not rn:
+            self.stats.note(node.op, ln + rn, 0)
+            return 0, _empty_cols(len(node.out_vars))
+        if not lkey:  # cross join
+            lidx = _np.repeat(_np.arange(ln), rn)
+            ridx = _np.tile(_np.arange(rn), ln)
+        else:
+            if len(lkey) == 1:
+                lk = lcols[lkey[0]]
+                rk = rcols[rkey[0]]
+            else:
+                # Pack left and right keys through one shared code space.
+                packed = _pack([
+                    _np.concatenate([lcols[i], rcols[j]])
+                    for i, j in zip(lkey, rkey)
+                ])
+                lk, rk = packed[:ln], packed[ln:]
+            lidx, ridx = _equi_join_idx(lk, rk)
+        out = _take(lcols, lidx) + _take([rcols[i] for i in rtake], ridx)
+        n_out = int(lidx.size)
+        self.stats.note(node.op, ln + rn, n_out)
+        return n_out, out
+
+    def _probe_join_cols(
+        self, node: Join, ln: int, lcols: list, lkey: tuple, probe
+    ) -> Optional[tuple]:
+        """Index nested-loop on ID columns: per distinct left key, decode
+        the key terms once, read the relation's argument-index bucket and
+        encode only the joining facts — the columnar mirror of
+        :meth:`Executor._probe_join`, same row set when it applies.
+
+        The applicability gate is stricter than the row executor's:
+        probing runs a Python loop per candidate fact, while the
+        vectorized sort join costs C-speed work linear-log in the
+        relation, so probing only pays off when the distinct left keys
+        select a small fraction of the relation (the semi-naive
+        small-delta rounds it exists for)."""
+        pred, arity, positions, template, rtake, dup_checks, var_sorts = probe
+        facts = self.interp.facts_of(pred)
+        if len(facts) < INDEX_MIN_FACTS:
+            return None
+        # Gate on the C-side distinct-key count before paying the Python
+        # tolist/dict materialization it would take to actually probe
+        # (sort+diff: cheaper than np.unique's hash table on int64).
+        sk = _np.sort(_key_col(lcols, lkey, ln))
+        nkeys = 1 + int((sk[1:] != sk[:-1]).sum())
+        if nkeys * 16 >= len(facts):
+            return None
+        lkeys = list(zip(*[lcols[i].tolist() for i in lkey]))
+        by_key: dict = {}
+        for i, k in enumerate(lkeys):
+            b = by_key.get(k)
+            if b is None:
+                by_key[k] = [i]
+            else:
+                b.append(i)
+        id_of = _ID_OF
+        candidates = self.interp.candidates
+        lidx: list = []
+        tails: list = []
+        n_in = ln
+        for key_ids, bucket in by_key.items():
+            probe_key = tuple(
+                t if k is None else _TERMS[key_ids[k]] for t, k in template
+            )
+            for f in candidates(pred, positions, probe_key):
+                n_in += 1
+                args = f.args
+                if len(args) != arity:
+                    continue
+                ok = True
+                for i, j in dup_checks:
+                    if args[i] is not args[j] and args[i] != args[j]:
+                        ok = False
+                        break
+                if ok:
+                    for p, s in var_sorts:
+                        if not sorts_compatible(s, args[p].sort):
+                            ok = False
+                            break
+                if ok:
+                    tail = tuple(id_of(args[p]) for p in rtake)
+                    for i in bucket:
+                        lidx.append(i)
+                        tails.append(tail)
+        idx = _np.asarray(lidx, dtype=_np.int64)
+        out = _take(lcols, idx)
+        n_out = len(lidx)
+        out += [
+            _np.fromiter((t[j] for t in tails), _np.int64, count=n_out)
+            for j in range(len(rtake))
+        ]
+        self.stats.note(node.op, n_in, n_out)
+        return n_out, out
+
+    # -- per-row operators --------------------------------------------------------
+
+    def _select_cols(self, node: Select) -> tuple:
+        n, cols = self.cols(node.input)
+        metas = node._cmeta  # set by columnar_capable before dispatch
+        if node.kind == "equals":
+            (lk, lv), (rk, rv) = metas
+            if lk == "col" and rk == "col":
+                mask = cols[lv] == cols[rv]
+            elif lk == "col":
+                mask = cols[lv] == _ID_OF(rv)
+            elif rk == "col":
+                mask = cols[rv] == _ID_OF(lv)
+            else:
+                n_out = n if _ID_OF(lv) == _ID_OF(rv) else 0
+                self.stats.note(node.op, n, n_out)
+                return (n, cols) if n_out else (0, _empty_cols(len(cols)))
+            out = [c[mask] for c in cols]
+            n_out = int(mask.sum())
+            self.stats.note(node.op, n, n_out)
+            return n_out, out
+        # membership check: the container's real value decides
+        (ek, ev), (ck, cv) = metas
+        if ck == "col":
+            containers = [_TERMS[i] for i in cols[cv].tolist()]
+        else:
+            if n and not isinstance(cv, SetValue):
+                raise PlanInapplicable(
+                    f"membership container {cv} is not a set"
+                )
+            containers = repeat(cv, n)
+        if ek == "col":
+            elems = [_TERMS[i] for i in cols[ev].tolist()]
+        else:
+            elems = repeat(ev, n)
+        keep: list = []
+        ka = keep.append
+        for i, (e, container) in enumerate(zip(elems, containers)):
+            if not isinstance(container, SetValue):
+                raise PlanInapplicable(
+                    f"membership container {container} is not a set"
+                )
+            if e in container.elems:
+                ka(i)
+        idx = _np.asarray(keep, dtype=_np.int64)
+        out = _take(cols, idx)
+        self.stats.note(node.op, n, len(keep))
+        return len(keep), out
+
+    def _anti_join_cols(self, node: AntiJoin) -> tuple:
+        n, cols = self.cols(node.input)
+        metas = node._cmeta
+        pred = node.atom.pred
+        holds = self.interp.holds
+        if not metas:  # zero-arity negated atom: one oracle call decides
+            if holds(Atom(pred, ())):
+                self.stats.note(node.op, n, 0)
+                return 0, _empty_cols(len(cols))
+            self.stats.note(node.op, n, n)
+            return n, cols
+        term = _TERMS.__getitem__
+        seqs = [
+            map(term, cols[v].tolist()) if k == "col" else repeat(v, n)
+            for k, v in metas
+        ]
+        keep: list = []
+        ka = keep.append
+        for i, args in enumerate(zip(*seqs)):
+            if not holds(Atom(pred, args)):
+                ka(i)
+        idx = _np.asarray(keep, dtype=_np.int64)
+        out = _take(cols, idx)
+        self.stats.note(node.op, n, len(keep))
+        return len(keep), out
+
+    # -- schema operators ---------------------------------------------------------
+
+    def _project_cols(self, node: Project) -> tuple:
+        n, cols = self.cols(node.input)
+        take = node._meta
+        if take is None:
+            pos = {v: i for i, v in enumerate(node.input.out_vars)}
+            take = node._meta = tuple(pos[v] for v in node.vars)
+        # Columns are never mutated once built, so projection shares them.
+        self.stats.note(node.op, n, n)
+        return n, [cols[i] for i in take]
+
+    def _distinct_cols(self, node: Distinct) -> tuple:
+        n, cols = self.cols(node.input)
+        if not cols:
+            n_out = 1 if n else 0
+            self.stats.note(node.op, n, n_out)
+            return n_out, []
+        if n == 0:
+            self.stats.note(node.op, 0, 0)
+            return 0, cols
+        key = _key_col(cols, tuple(range(len(cols))), n)
+        _, first = _np.unique(key, return_index=True)
+        out = _take(cols, first)
+        n_out = int(first.size)
+        self.stats.note(node.op, n, n_out)
+        return n_out, out
+
+    def _group_by_cols(self, node: GroupBy) -> tuple:
+        n, cols = self.cols(node.input)
+        meta = node._meta
+        if meta is None:
+            pos = {v: i for i, v in enumerate(node.input.out_vars)}
+            meta = node._meta = (
+                tuple(pos[v] for v in node.key_vars), pos[node.group_var]
+            )
+        key_idx, group_idx = meta
+        if n == 0:
+            self.stats.note(node.op, 0, 0)
+            return 0, _empty_cols(len(key_idx) + 1)
+        term = _TERMS.__getitem__
+        id_of = _ID_OF
+        if not key_idx:  # one group holding every value
+            members = set(cols[group_idx].tolist())
+            gid = id_of(setvalue(map(term, members)))
+            self.stats.note(node.op, n, 1)
+            return 1, [_np.asarray([gid], dtype=_np.int64)]
+        key = _key_col(cols, key_idx, n)
+        order = _np.argsort(key, kind="stable")
+        gs = cols[group_idx][order]
+        ks = key[order]
+        bounds = _np.nonzero(_np.diff(ks))[0] + 1
+        groups = _np.split(gs, bounds)
+        reps = order[
+            _np.concatenate([_np.asarray([0], dtype=bounds.dtype), bounds])
+        ]
+        out = _take([cols[i] for i in key_idx], reps)
+        out.append(_np.fromiter(
+            (id_of(setvalue(map(term, set(g.tolist())))) for g in groups),
+            _np.int64,
+            count=len(groups),
+        ))
+        self.stats.note(node.op, n, len(groups))
+        return len(groups), out
+
+
+_COL_DISPATCH = {
+    Unit: ColumnarExecutor._unit_cols,
+    Scan: ColumnarExecutor._scan_cols,
+    Join: ColumnarExecutor._join_cols,
+    Select: ColumnarExecutor._select_cols,
+    AntiJoin: ColumnarExecutor._anti_join_cols,
+    Project: ColumnarExecutor._project_cols,
+    Distinct: ColumnarExecutor._distinct_cols,
+    GroupBy: ColumnarExecutor._group_by_cols,
+}
+
+
+def make_executor(
+    interp: Interpretation,
+    builtins,
+    delta=None,
+    use_indexes: bool = True,
+    stats=None,
+    columnar: bool = True,
+) -> Executor:
+    """The executor the options ask for: columnar (default) or row.
+
+    Falls back to the row executor when numpy is unavailable, so the
+    ``columnar`` option is safe to leave on in every environment.
+    """
+    cls = ColumnarExecutor if (columnar and _np is not None) else Executor
+    return cls(
+        interp, builtins, delta=delta, use_indexes=use_indexes, stats=stats
+    )

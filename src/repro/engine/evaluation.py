@@ -32,6 +32,7 @@ Design highlights (see DESIGN.md):
 from __future__ import annotations
 
 import itertools
+import os
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Iterator, Mapping, Optional, Sequence
 
@@ -75,6 +76,7 @@ from ..core.unify import (
 from ..semantics.interpretation import Interpretation
 from .builtins import DEFAULT_BUILTINS, Builtin
 from .database import Database, from_term
+from .columnar import make_executor
 from .executor import Executor, PlanInapplicable
 from .ir import ExecStats, GroupBy, PlanNode
 from .planner import CompiledPlan, compile_grouping, compile_rule, head_plan
@@ -103,8 +105,16 @@ class ActiveDomain:
         self._sets: dict[SetValue, None] = {setvalue(()): None}
         self.version = 0
         self._carrier_cache: dict[str, tuple[int, list[Term]]] = {}
+        self._noted: dict[Term, None] = {}
 
     def note_term(self, t: Term) -> None:
+        # The domain only grows, so noting a term is idempotent — and terms
+        # are interned with cached hashes, so one dict probe replaces the
+        # subterm walk for every repeat (fact columns repeat constants
+        # heavily; this is the hot path of bulk fact loading).
+        if t in self._noted:
+            return
+        self._noted[t] = None
         for s in subterms(t):
             if isinstance(s, SetValue):
                 if s not in self._sets:
@@ -582,6 +592,15 @@ class Solver:
 # The evaluator
 # ---------------------------------------------------------------------------
 
+def _default_columnar() -> bool:
+    """Columnar mode defaults on; ``REPRO_COLUMNAR=0`` (or false/no/off)
+    turns it off process-wide — the row-executor escape hatch for tests,
+    benchmarking baselines, and bisecting."""
+    return os.environ.get("REPRO_COLUMNAR", "1").strip().lower() not in (
+        "0", "false", "no", "off"
+    )
+
+
 @dataclass
 class EvalOptions:
     """Evaluator knobs.
@@ -605,6 +624,14 @@ class EvalOptions:
                           application whose static predictions fail on
                           real values — run on the tuple-at-a-time solver,
                           so the model is bit-identical either way.
+    ``columnar``        — run capable plan operators on dense term-ID
+                          columns instead of term-object rows (see
+                          DESIGN.md, "Columnar execution"); per-node
+                          fallback keeps type-sensitive operators on the
+                          row executor, so results stay bit-identical.
+                          Default from ``REPRO_COLUMNAR`` (on unless the
+                          env var is ``0``/``false``/``no``/``off``).
+                          Only meaningful with ``compile_plans``.
     """
 
     semi_naive: bool = True
@@ -615,6 +642,7 @@ class EvalOptions:
     use_indexes: bool = True
     plan_joins: bool = True
     compile_plans: bool = True
+    columnar: bool = field(default_factory=lambda: _default_columnar())
 
 
 @dataclass
@@ -875,12 +903,13 @@ class Evaluator:
             )
             executor = None
             if use_plans:
-                executor = Executor(
+                executor = make_executor(
                     interp,
                     self.builtins,
                     delta=deltas,
                     use_indexes=self.options.use_indexes,
                     stats=report.exec,
+                    columnar=self.options.columnar,
                 )
             for rule in compiled:
                 if not rule.affected(changed_preds, domain_grew):
@@ -1013,11 +1042,12 @@ class Evaluator:
             )
         if not cp.is_set:
             return None
-        executor = Executor(
+        executor = make_executor(
             interp,
             self.builtins,
             use_indexes=self.options.use_indexes,
             stats=report.exec,
+            columnar=self.options.columnar,
         )
         try:
             root = cp.root
@@ -1141,14 +1171,18 @@ class _CompiledRule:
         node = self.head_node(pin, plan_joins)
         if node is None:
             return None
+        shape = self._head_shape(node, (pin, plan_joins))
         try:
-            rows = executor.batch(node)
+            # Head atoms land in a set; duplicate rows only cost decode
+            # and substitution time, so let the executor collapse them —
+            # for Datalog-shaped heads, after projecting to the head
+            # columns so rows differing only elsewhere collapse too.
+            if shape is not None:
+                rows = executor.shaped_batch(node, shape)
+                return [Atom(self.head.pred, r) for r in rows]
+            rows = executor.distinct_batch(node)
         except PlanInapplicable:
             return None
-        shape = self._head_shape(node, (pin, plan_joins))
-        if shape is not None:
-            pred = self.head.pred
-            return [Atom(pred, tuple(r[i] for i in shape)) for r in rows]
         head, vars_ = self.head, node.out_vars
         if not vars_:
             return [head] if rows else []

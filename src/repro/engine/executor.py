@@ -92,6 +92,29 @@ class Executor:
             raise PlanInapplicable(f"no executor for {cls.__name__}")
         return method(self, node)
 
+    def distinct_batch(self, node: PlanNode) -> list[Row]:
+        """``batch()`` without duplicate rows.
+
+        Every engine consumer treats plan output as a *set* of rows (head
+        derivation into an interpretation, maintenance keyed on the free
+        variables, query answers deduplicated) — deduplicating inside the
+        executor lets the columnar subclass collapse duplicates on ID
+        columns before paying the per-cell decode.
+        """
+        return distinct_rows(self.batch(node))
+
+    def shaped_batch(self, node: PlanNode, take: tuple[int, ...]) -> list[Row]:
+        """Distinct rows projected to the ``take`` column indices.
+
+        The head-materialization fast path for Datalog-shaped heads: the
+        caller builds one atom per returned row, so projecting and
+        deduplicating first — on ID columns in the columnar subclass —
+        skips decoding and substituting rows that only differ in
+        projected-away columns.
+        """
+        rows = self.batch(node)
+        return distinct_rows([tuple(r[i] for i in take) for r in rows])
+
     def heads(self, node: PlanNode, head: Atom) -> list[Atom]:
         """Execute a (projected, distinct) plan and substitute the head."""
         rows = self.batch(node)

@@ -50,11 +50,26 @@ MODE_TUPLE = "tuple"  # fall back to the backtracking tuple-at-a-time solver
 
 @dataclass
 class ExecStats:
-    """Executor counters: totals plus per-operator batches and row flow."""
+    """Executor counters: totals plus per-operator batches and row flow.
+
+    The ``col_nodes``/``row_nodes``/``rows_encoded``/``rows_decoded``
+    quartet observes the columnar executor (``repro.engine.columnar``):
+    how many operator executions ran on ID columns vs fell back to the
+    row kernels, and how many rows crossed an encode/decode boundary.
+    All four stay 0 under the plain row executor.
+    """
 
     batches: int = 0
     rows_in: int = 0
     rows_out: int = 0
+    #: operator executions on dense-ID columns (columnar executor only).
+    col_nodes: int = 0
+    #: operator executions that fell back to the row kernels.
+    row_nodes: int = 0
+    #: rows converted term-cells -> ID columns (scans, fallback results).
+    rows_encoded: int = 0
+    #: rows converted ID columns -> term-cells (plan boundaries).
+    rows_decoded: int = 0
     #: operator name -> [batches, rows in, rows out]
     per_op: dict[str, list[int]] = field(default_factory=dict)
 
@@ -74,6 +89,10 @@ class ExecStats:
         self.batches += other.batches
         self.rows_in += other.rows_in
         self.rows_out += other.rows_out
+        self.col_nodes += other.col_nodes
+        self.row_nodes += other.row_nodes
+        self.rows_encoded += other.rows_encoded
+        self.rows_decoded += other.rows_decoded
         for op, (b, ri, ro) in other.per_op.items():
             cell = self.per_op.get(op)
             if cell is None:
@@ -83,11 +102,27 @@ class ExecStats:
                 cell[1] += ri
                 cell[2] += ro
 
+    def columnar_summary(self) -> dict[str, int]:
+        """The columnar counters as one dict (the ``:stats`` payload)."""
+        return {
+            "col_nodes": self.col_nodes,
+            "row_nodes": self.row_nodes,
+            "rows_encoded": self.rows_encoded,
+            "rows_decoded": self.rows_decoded,
+        }
+
     def pretty(self) -> str:
         lines = [
             f"executor: {self.batches} batches, "
             f"{self.rows_in} rows in, {self.rows_out} rows out"
         ]
+        if self.col_nodes or self.row_nodes:
+            lines.append(
+                f"  columnar: {self.col_nodes} col nodes, "
+                f"{self.row_nodes} row-fallback nodes, "
+                f"{self.rows_encoded} rows encoded, "
+                f"{self.rows_decoded} rows decoded"
+            )
         for op in sorted(self.per_op):
             b, ri, ro = self.per_op[op]
             lines.append(f"  {op:<9} batches={b} rows_in={ri} rows_out={ro}")
@@ -102,9 +137,12 @@ class PlanNode:
     aligned with it.
     """
 
-    __slots__ = ("out_vars",)
+    __slots__ = ("out_vars", "_cmeta")
 
     out_vars: tuple[Var, ...]
+
+    #: Columnar-executor metadata (``repro.engine.columnar``), memoized on
+    #: first visit like ``_shape``/``_meta``; unset until then.
 
     #: Name used in pretty-printing and executor stats.
     op: str = "node"

@@ -64,7 +64,8 @@ from .evaluation import (
     SolverStats,
     _CompiledRule,
 )
-from .executor import Executor, PlanInapplicable
+from .columnar import make_executor
+from .executor import PlanInapplicable
 from .ir import ExecStats
 from .provenance import SupportCounts
 from .stratify import PLAN_COUNTING, PLAN_DRED, PLAN_RECOMPUTE, StratumRules
@@ -387,15 +388,19 @@ class MaterializedModel:
         delta = None
         if pin is not None:
             delta = {rule.relational[pin].pred: delta_facts}
-        executor = Executor(
+        executor = make_executor(
             self._interp,
             self.builtins,
             delta=delta,
             use_indexes=self.options.use_indexes,
             stats=self.exec_stats,
+            columnar=self.options.columnar,
         )
         try:
-            return cp.root.out_vars, executor.batch(cp.root)
+            # Callers key rows on (a projection of) the full schema, so
+            # duplicate full-width rows are always redundant — dedup in
+            # the executor, where the columnar path does it on IDs.
+            return cp.root.out_vars, executor.distinct_batch(cp.root)
         except PlanInapplicable:
             return None
 

@@ -58,8 +58,9 @@ from ..storage.codec import (
     decode_program,
     decode_record,
 )
+from ..storage.checkpoint import list_checkpoints
 from ..storage.durable import DurableModel, FencingError, has_state
-from ..storage.wal import FSYNC_ALWAYS
+from ..storage.wal import FSYNC_ALWAYS, WriteAheadLog
 
 logger = logging.getLogger("repro.replication")
 
@@ -204,13 +205,19 @@ class FollowerService:
                 f"{self.leader_port} within {timeout:g}s"
                 + (f": {self._last_error}" if self._last_error else "")
             )
-        self.service = QueryService(
+        service = QueryService(
             model=self.model,
             max_workers=self._max_workers,
             max_batch=self._max_batch,
         )
-        self.service.follower = self
-        self.service.session_class = FollowerSession
+        service.follower = self
+        service.session_class = FollowerSession
+        with self._cond:
+            # A floor-lag re-seed may have swapped ``self.model`` while
+            # the service was being built; publish the service and the
+            # freshest model together so neither can be missed.
+            service.model = self.model
+            self.service = service
         return self.service
 
     def stop_tailing(self) -> None:
@@ -510,12 +517,23 @@ class FollowerService:
         if self.model is not None:
             if isinstance(version, int) and version <= self.model.version:
                 return                     # we already cover it
-            raise ReplicationError(
-                f"leader offered a snapshot at version {version} but this "
-                f"follower holds version {self.model.version}: it fell "
-                "behind the leader's WAL floor and must be re-seeded from "
-                "an empty directory"
+            if epoch < self.model.epoch:
+                raise FencingError(
+                    f"snapshot at epoch {epoch} after this follower "
+                    f"durably saw epoch {self.model.epoch}; that leader "
+                    "was fenced"
+                )
+            # The leader only offers a *newer* snapshot when it can no
+            # longer replay the gap from its WAL (this follower fell
+            # behind the checkpoint-truncated floor).  Local state is a
+            # strict-past prefix of the snapshot, so discard it and fall
+            # through to the fresh-seed path instead of erroring out.
+            logger.warning(
+                "behind the leader's WAL floor (local version %d, "
+                "snapshot at %d): discarding local state and re-seeding",
+                self.model.version, version,
             )
+            self._discard_local_state()
         if not isinstance(version, int) or version < 1:
             raise ReplicationError("snapshot without a valid version")
         program = decode_program(data.get("program"))
@@ -536,11 +554,30 @@ class FollowerService:
         )
         with self._cond:
             self.model = model
+            if self.service is not None:
+                # Re-seed while serving: new sessions read the fresh
+                # model; existing sessions keep their pinned snapshots.
+                self.service.model = model
             self._cond.notify_all()
         logger.info(
             "bootstrapped from leader snapshot at version %d epoch %d "
             "(%d facts)", version, epoch, len(data.get("facts", ())),
         )
+
+    def _discard_local_state(self) -> None:
+        """Close and delete the local WAL + checkpoints (floor-lag
+        re-seed): the caller immediately rebuilds a fresh durable model
+        from the leader's snapshot in the same directory.  The stale
+        model object stays installed (closed models still serve reads)
+        until the caller swaps in the fresh one, so concurrent readers
+        never observe a model-less follower."""
+        model = self.model
+        if model is not None:
+            model.close()
+        for p in WriteAheadLog(self.data_dir).segments():
+            p.unlink()
+        for p in list_checkpoints(self.data_dir):
+            p.unlink()
 
     def _ack(self, sock: socket.socket) -> None:
         sock.sendall(f":ack {self.model.version}\n".encode("ascii"))

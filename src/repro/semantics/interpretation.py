@@ -22,6 +22,7 @@ which the engine and the fixpoint operator are validated.
 from __future__ import annotations
 
 import itertools
+from array import array
 from typing import Iterable, Iterator, Mapping, Optional, Sequence
 
 from ..core.atoms import Atom, atom_order_key
@@ -38,6 +39,10 @@ from .herbrand import Universe
 INDEX_MIN_FACTS = 8
 
 _EMPTY_FACTS: dict = {}
+
+#: Sentinel distinguishing "no cache entry yet" from the ``None`` marker
+#: that pins a mixed-arity predicate as uncacheable (see ``id_columns``).
+_NO_COLUMNS = object()
 
 
 def _index_insert(
@@ -101,7 +106,9 @@ class Interpretation:
     DESIGN.md, "Service layer").
     """
 
-    __slots__ = ("_by_pred", "_indexes", "_size", "_frozen", "_shared")
+    __slots__ = (
+        "_by_pred", "_indexes", "_size", "_frozen", "_shared", "_columns"
+    )
 
     def __init__(self, atoms: Iterable[Atom] = ()) -> None:
         # Per-predicate facts as insertion-ordered dicts (value always None):
@@ -119,6 +126,12 @@ class Interpretation:
         self._frozen = False
         #: Predicates whose bucket/indexes are shared with a snapshot.
         self._shared: set[str] = set()
+        #: pred -> (arity, nfacts, per-position ID column bytes) — the
+        #: columnar executor's encoded relations (see :meth:`id_columns`).
+        #: ``None`` marks a predicate as uncacheable (mixed arities).
+        self._columns: dict[
+            str, Optional[tuple[int, int, tuple[bytes, ...]]]
+        ] = {}
         for a in atoms:
             self.add(a)
 
@@ -144,6 +157,11 @@ class Interpretation:
         snap._size = self._size
         snap._frozen = True
         snap._shared = set()
+        # Column-cache entries are immutable tuples over immutable bytes
+        # and only ever *replaced* (never extended in place), so sharing
+        # them is safe: the writable side swaps in new tuples, the
+        # snapshot keeps the prefix it captured.
+        snap._columns = dict(self._columns)
         if not self._frozen:
             self._shared = set(self._by_pred)
         return snap
@@ -208,6 +226,10 @@ class Interpretation:
         bucket = self._mutable_bucket(a.pred)
         bucket.pop(a, None)
         self._size -= 1
+        # Removal breaks the append-only prefix the column cache relies
+        # on; drop it and let the next columnar scan rebuild (like the
+        # lazily rebuilt indexes after copy-on-write).
+        self._columns.pop(a.pred, None)
         per = self._indexes.get(a.pred)
         if per:
             for positions, index in per.items():
@@ -240,6 +262,65 @@ class Interpretation:
         Callers must not mutate it; iterate it like a set of atoms.
         """
         return self._by_pred.get(pred, _EMPTY_FACTS)
+
+    def id_columns(
+        self, pred: str
+    ) -> Optional[tuple[int, int, tuple[bytes, ...]]]:
+        """``(arity, nfacts, per-position ID column bytes)`` for a relation.
+
+        The columnar executor's counterpart of the argument indexes: each
+        argument position of the relation encoded as a contiguous vector
+        of dense term-dictionary IDs (native int64 bytes, insertion
+        order).  Built lazily and extended incrementally — :meth:`add`
+        appends facts at the end of the bucket, so a cached encoding stays
+        a valid prefix and only new facts pay the per-cell encode;
+        :meth:`remove` drops the entry for a full lazy rebuild.  Entries
+        are immutable and only ever replaced, which makes sharing them
+        with snapshots safe.
+
+        Returns ``None`` for empty relations and for relations with mixed
+        arities (callers fall back to per-scan encoding).
+        """
+        bucket = self._by_pred.get(pred)
+        n = 0 if bucket is None else len(bucket)
+        if n == 0:
+            return None
+        entry = self._columns.get(pred, _NO_COLUMNS)
+        if entry is None:  # known mixed-arity relation
+            return None
+        if entry is _NO_COLUMNS:
+            facts: Iterable[Atom] = bucket
+            arity = len(next(iter(bucket)).args)
+            n_old, old = 0, (b"",) * arity
+        else:
+            arity, n_old, old = entry
+            if n_old == n:
+                return entry
+            facts = itertools.islice(bucket, n_old, None)
+        from ..core.terms import TERM_DICT
+
+        id_of = TERM_DICT.id_of
+        rows = []
+        append = rows.append
+        for f in facts:
+            args = f.args
+            if len(args) != arity:
+                self._columns[pred] = None
+                return None
+            append(args)
+        # Transpose then encode column-wise: zip/map/array run the per-cell
+        # work in C, leaving only the id_of calls at Python speed.
+        new = zip(*rows) if rows else ((),) * arity
+        entry = (
+            arity,
+            n,
+            tuple(
+                o + array("q", map(id_of, col)).tobytes()
+                for o, col in zip(old, new)
+            ),
+        )
+        self._columns[pred] = entry
+        return entry
 
     def _index_for(
         self, pred: str, positions: tuple[int, ...]

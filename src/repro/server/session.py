@@ -50,7 +50,8 @@ from ..engine.evaluation import (
     SolverStats,
     _CompiledRule,
 )
-from ..engine.executor import Executor, PlanInapplicable
+from ..engine.columnar import annotated_pretty, make_executor
+from ..engine.executor import PlanInapplicable
 from ..engine.ir import ExecStats
 from ..engine.maintenance import (
     MaintenanceReport,
@@ -319,11 +320,12 @@ class Session:
         interp = snap.interpretation
         rows: Optional[list[tuple[Term, ...]]] = None
         if options.compile_plans:
-            executor = Executor(
+            executor = make_executor(
                 interp,
                 self._model.builtins,
                 use_indexes=options.use_indexes,
                 stats=stats.execs,
+                columnar=options.columnar,
             )
             heads = rule.derive_via_plan(executor, options.plan_joins)
             if heads is not None:
@@ -687,6 +689,10 @@ class Session:
             header = f"-- {c}"
             if not cp.is_set:
                 chunks.append(f"{header}\ntuple-mode: {cp.reason}")
+            elif self._model.options.columnar:
+                # Tag each operator with the execution mode the columnar
+                # executor would choose, so ``:plan`` shows vectorization.
+                chunks.append(f"{header}\n{annotated_pretty(cp.root, builtins)}")
             else:
                 chunks.append(f"{header}\n{cp.root.pretty()}")
         return "\n\n".join(chunks)
@@ -745,4 +751,5 @@ def stats_payload(model: VersionedModel, merged: SessionStats) -> dict:
         "errors": merged.errors,
         "matches": merged.solver.matches,
         "executor": exec_all.pretty(),
+        "columnar": exec_all.columnar_summary(),
     }

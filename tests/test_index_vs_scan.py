@@ -9,7 +9,10 @@ scan with the left-to-right-ish bound-count heuristic on the
 tuple-at-a-time solver.  This file checks that across the workload
 generators in ``repro.workloads.generators`` and across random set
 programs, over the full on/off grid of
-``compile_plans`` × ``use_indexes`` × ``plan_joins``.
+``columnar`` × ``compile_plans`` × ``use_indexes`` × ``plan_joins``
+(the columnar executor rides on compiled plans, so half the grid
+exercises its numpy kernels and per-node row fallbacks bit-for-bit
+against the others).
 """
 
 from itertools import product
@@ -34,8 +37,8 @@ from repro.workloads import (
 )
 
 MODES = [
-    {"compile_plans": cp, "use_indexes": ui, "plan_joins": pj}
-    for cp, ui, pj in product((True, False), repeat=3)
+    {"columnar": co, "compile_plans": cp, "use_indexes": ui, "plan_joins": pj}
+    for co, cp, ui, pj in product((True, False), repeat=4)
 ]
 
 

@@ -189,6 +189,57 @@ class TestShipping:
                 f2.stop()
         svc.shutdown()
 
+    def test_follower_behind_wal_floor_reseeds(self, tmp_path):
+        """A follower that falls behind the leader's checkpoint-truncated
+        WAL floor cannot replay the gap, so the leader ships a snapshot;
+        the follower must discard its stale local state and re-seed from
+        it (regression: this used to raise ``ReplicationError`` and wedge
+        the follower permanently)."""
+        # One record per WAL segment + a single retained checkpoint, so
+        # one checkpoint() pushes the replayable floor to the present.
+        model = DurableModel(
+            parse_program(TC), tmp_path / "leader",
+            builtins=with_set_builtins(),
+            fsync="never", checkpoint_every=None,
+            keep_checkpoints=1, segment_max_bytes=1,
+        )
+        svc = QueryService(model=model)
+        ReplicationHub.attach(svc)
+        with run_in_thread(svc) as h:
+            f = FollowerService(h.addr, tmp_path / "f", **FAST)
+            f.start()
+            svc.apply_delta(adds=[("e", "a", "b")])
+            assert f.wait_applied(svc.model.version)
+            behind = svc.model.version
+            f.stop()                            # follower goes dark
+            for i in range(4):                  # leader moves on ...
+                svc.apply_delta(adds=[("e", f"u{i}", f"v{i}")])
+            model.checkpoint()                  # ... and truncates its WAL
+            floor = WriteAheadLog(tmp_path / "leader").first_version()
+            assert floor is not None and floor > behind + 1
+            f2 = FollowerService(h.addr, tmp_path / "f", **FAST)
+            f2.start()
+            try:
+                assert f2.wait_applied(svc.model.version)
+                assert render(f2.model) == render(svc.model)
+                # The re-seeded replica keeps streaming deltas after the
+                # snapshot — it is a live follower, not a one-shot copy.
+                svc.apply_delta(adds=[("e", "z", "w")])
+                assert f2.wait_applied(svc.model.version)
+                assert render(f2.model) == render(svc.model)
+            finally:
+                f2.stop()
+            # And it stays independently crash-recoverable over the
+            # re-seeded store.
+            f3 = FollowerService(h.addr, tmp_path / "f", **FAST)
+            f3.start()
+            try:
+                assert f3.wait_applied(svc.model.version)
+                assert render(f3.model) == render(svc.model)
+            finally:
+                f3.stop()
+        svc.shutdown()
+
 
 # ---------------------------------------------------------------------------
 # Ack gating and role surfaces
