@@ -41,8 +41,9 @@ The maintained model is therefore *always* identical to a from-scratch
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Iterator, Mapping, Optional
+from typing import Any, Callable, Iterable, Iterator, Mapping, Optional
 
 from ..core.atoms import Atom
 from ..core.clauses import GroupingClause, LPSClause
@@ -112,6 +113,34 @@ def _merge_net_changes(
             lost.setdefault(p, set()).update(net)
 
 
+@dataclass(frozen=True)
+class ModelChanges:
+    """Exact per-predicate model-atom changes of one maintenance batch.
+
+    ``adds``/``dels`` map predicate name to the set of *model* atoms (EDB
+    and derived alike) that appeared/disappeared in this batch.  Per
+    predicate the two sets are disjoint: each predicate is produced by at
+    most one stratum and the per-stratum events are netted before they are
+    folded in (`_merge_net_changes`).  The live-subscription dispatcher
+    pins these sets into delta-variant plans to push exact answer-set
+    diffs without re-running standing queries.
+    """
+
+    adds: Mapping[str, frozenset[Atom]]
+    dels: Mapping[str, frozenset[Atom]]
+
+    def touches(self, preds: Iterable[str]) -> bool:
+        """Did this batch change any of the given predicates?"""
+        return any(p in self.adds or p in self.dels for p in preds)
+
+
+def _group_by_pred(atoms: Iterable[Atom]) -> dict[str, frozenset[Atom]]:
+    by_pred: dict[str, set[Atom]] = {}
+    for a in atoms:
+        by_pred.setdefault(a.pred, set()).add(a)
+    return {p: frozenset(s) for p, s in by_pred.items()}
+
+
 @dataclass
 class MaintenanceReport:
     """What one :meth:`MaterializedModel.apply_delta` call did."""
@@ -123,6 +152,9 @@ class MaintenanceReport:
     atoms_removed: int = 0      # model atoms that disappeared
     stratum_plans: tuple[tuple[int, str], ...] = ()
     fallback_reason: Optional[str] = None
+    #: Per-predicate atom sets behind the two counters above (``None`` only
+    #: for no-op batches, which publish nothing).
+    changes: Optional[ModelChanges] = None
 
 
 class MaterializedModel:
@@ -293,11 +325,15 @@ class MaterializedModel:
     ) -> None:
         before = set(self._interp.atoms())
         self._rebuild()
-        after = self._interp.atoms()
+        after = set(self._interp.atoms())
         report.strategy = STRATEGY_RECOMPUTE
         report.fallback_reason = reason
         report.atoms_added = len(after - before)
         report.atoms_removed = len(before - after)
+        report.changes = ModelChanges(
+            adds=_group_by_pred(after - before),
+            dels=_group_by_pred(before - after),
+        )
         self.last_report = report
 
     def _init_counts(self) -> None:
@@ -484,6 +520,10 @@ class MaterializedModel:
         report.stratum_plans = tuple(plans)
         report.atoms_added = sum(len(s) for s in gained.values())
         report.atoms_removed = sum(len(s) for s in lost.values())
+        report.changes = ModelChanges(
+            adds={p: frozenset(s) for p, s in gained.items() if s},
+            dels={p: frozenset(s) for p, s in lost.items() if s},
+        )
 
     # -- counting strata ---------------------------------------------------------
 
@@ -949,6 +989,16 @@ class VersionedModel:
         if base_version < 0:
             raise ValueError("base_version must be >= 0")
         self._lock = threading.RLock()
+        #: Notified (under the write lock) every time a new version is
+        #: published — the commit-wakeup primitive behind
+        #: :meth:`wait_version` and the subscription dispatcher.
+        self._version_cond = threading.Condition(self._lock)
+        #: ``fn(snapshot)`` callbacks invoked under the write lock at every
+        #: publication, in registration order.  Listeners must be cheap and
+        #: non-blocking (enqueue-and-return); registering under
+        #: :attr:`lock` makes the handoff gap-free: every version published
+        #: after registration is observed exactly once.
+        self._version_listeners: list[Callable[[ModelSnapshot], None]] = []
         self._keep = keep_versions
         self._materialized = MaterializedModel(
             program, database, builtins=builtins, options=options
@@ -1004,6 +1054,52 @@ class VersionedModel:
                         f"(live: {sorted(self._snapshots)})"
                     )
         return snap
+
+    def wait_version(
+        self, version: int, timeout: Optional[float] = None
+    ) -> int:
+        """Block until the published version reaches ``version``.
+
+        Returns the latest published version — ``>= version`` on success,
+        smaller if the timeout expired first.  The wait parks on a
+        condition variable notified at publication; no polling.
+        """
+        with self._version_cond:
+            if timeout is None:
+                while self.current.version < version:
+                    self._version_cond.wait()
+            else:
+                deadline = time.monotonic() + max(0.0, timeout)
+                while self.current.version < version:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._version_cond.wait(remaining)
+            return self.current.version
+
+    def add_version_listener(
+        self, fn: Callable[[ModelSnapshot], None]
+    ) -> None:
+        """Register ``fn(snapshot)``, called at every publication.
+
+        The callback runs on the writer thread under the write lock, so it
+        must only hand the snapshot off (append to a queue, set an event)
+        and return.  Acquire :attr:`lock` around ``add_version_listener``
+        plus a read of :attr:`current` for a gap-free subscription: every
+        later version is delivered exactly once, in order.
+        """
+        with self._lock:
+            if fn not in self._version_listeners:
+                self._version_listeners.append(fn)
+
+    def remove_version_listener(
+        self, fn: Callable[[ModelSnapshot], None]
+    ) -> None:
+        with self._lock:
+            try:
+                self._version_listeners.remove(fn)
+            except ValueError:
+                pass
 
     def pin(self, version: Optional[int] = None) -> ModelSnapshot:
         """Resolve and pin a version so it survives retirement."""
@@ -1085,6 +1181,14 @@ class VersionedModel:
             self._snapshots[snap.version] = snap
             self.current = snap  # atomic publication point
             self._retire()
+            for fn in tuple(self._version_listeners):
+                # A broken listener must not poison the writer; the
+                # subscription layer reports its own failures per-query.
+                try:
+                    fn(snap)
+                except Exception:
+                    pass
+            self._version_cond.notify_all()
             return snap
 
     def _retire(self) -> None:

@@ -29,7 +29,12 @@ served behaviour cannot drift apart.
   compiles the rule body to (or why it stays on the tuple path),
 * ``:stats`` shows what the last delta did plus the set-at-a-time
   executor's counters (batches, rows in/out per operator), ``:quit``
-  exits.
+  exits,
+* ``:subscribe goal.`` registers a standing query: the full answer set
+  prints once, then every commit that moves it prints an exact
+  ``[sub N vV] +row -row`` diff (computed from the commit's delta, not
+  by re-running the query).  ``:unsubscribe N`` cancels, ``:diffs``
+  drains queued frames explicitly.
 """
 
 from __future__ import annotations
@@ -166,6 +171,26 @@ class Session:
         self._service.shutdown()
         return replacement
 
+    def command(self, line: str) -> "object":
+        """Run one protocol line through the service session — used for
+        the subscription commands, whose grammar lives server-side."""
+        return self._session.execute(line)
+
+    def take_diffs(self) -> list[dict]:
+        """Drain queued push frames (``diff`` / ``sub_dropped``).
+
+        The diff dispatcher runs on its own thread; when standing
+        queries are active, wait (briefly) until it has processed the
+        latest published version so a ``+fact.`` prints its diff
+        immediately rather than one prompt later.
+        """
+        manager = self._service.subscriptions
+        if manager.active_count():
+            manager.wait_caught_up(
+                self._service.model.version, timeout=2.0
+            )
+        return self._session.take_push_frames()
+
     def stats_text(self) -> str:
         """The ``:stats`` payload: last-delta summary + executor counters."""
         data = self._session.stats_data()
@@ -186,6 +211,43 @@ class Session:
         return "\n".join(lines)
 
 
+def _print_push_frame(frame: dict) -> None:
+    """One queued push frame, REPL-formatted."""
+    sub = frame.get("sub")
+    version = frame.get("version")
+    if frame.get("kind") == "sub_dropped":
+        print(f"[sub {sub}] dropped at version {version}: "
+              f"{frame.get('reason')}")
+        return
+    changes = [f"+({', '.join(row)})" for row in frame.get("adds") or []]
+    changes += [f"-({', '.join(row)})" for row in frame.get("dels") or []]
+    print(f"[sub {sub} v{version}] " + " ".join(changes))
+
+
+def _print_subscription_response(response) -> None:
+    if not response.ok:
+        print(f"error: {response.error}", file=sys.stderr)
+        return
+    if response.kind == "subscribed":
+        data = response.data
+        head = ", ".join(data["vars"])
+        print(f"sub {data['sub']} on ({head}) at version "
+              f"{response.version}: {len(data['rows'])} row(s)")
+        for row in data["rows"]:
+            print("  " + (", ".join(row) if row else "true"))
+    elif response.kind == "diffs":
+        for frame in response.data["frames"]:
+            _print_push_frame(frame)
+        if response.data["pending"]:
+            print(f"({response.data['pending']} more pending)")
+    else:
+        print("ok.")
+
+
+#: Colon commands the REPL forwards verbatim to the service session.
+_SUBSCRIPTION_COMMANDS = (":subscribe", ":unsubscribe", ":diffs")
+
+
 def cmd_repl(path: Optional[str], data_dir: Optional[str] = None) -> int:
     session = Session(data_dir=data_dir)
     if path:
@@ -193,8 +255,10 @@ def cmd_repl(path: Optional[str], data_dir: Optional[str] = None) -> int:
             session.add_clause(f.read())
     print("LPS repl — clauses end with '.', queries start with '?-', "
           "+fact./-fact. insert/delete facts, :model prints the model, "
-          ":plan rule. shows its compiled plan, :save DIR/:open DIR "
-          "persist/recover durable state, :quit exits.")
+          ":plan rule. shows its compiled plan, :subscribe goal. pushes "
+          "per-commit diffs of a standing query (:unsubscribe N cancels), "
+          ":save DIR/:open DIR persist/recover durable state, :quit "
+          "exits.")
     while True:
         try:
             line = input("lps> ").strip()
@@ -226,6 +290,8 @@ def cmd_repl(path: Optional[str], data_dir: Optional[str] = None) -> int:
                     session = session.open(target)
                     print(f"opened {target} at version "
                           f"{session.service.model.version}")
+            elif line.split(None, 1)[0] in _SUBSCRIPTION_COMMANDS:
+                _print_subscription_response(session.command(line))
             elif line.startswith("+"):
                 report = session.assert_fact(line[1:])
                 print("added." if report.net_added else "no change.")
@@ -236,6 +302,8 @@ def cmd_repl(path: Optional[str], data_dir: Optional[str] = None) -> int:
                 session.print_answers(line[2:].strip().rstrip("."))
             else:
                 session.add_clause(line)
+            for frame in session.take_diffs():
+                _print_push_frame(frame)
         except LPSError as exc:
             print(f"error: {exc}", file=sys.stderr)
 

@@ -559,6 +559,10 @@ class FollowerService:
                 # model; existing sessions keep their pinned snapshots.
                 self.service.model = model
             self._cond.notify_all()
+        if self.service is not None:
+            # Standing queries follow the replacement model; subscribers
+            # get one catch-up diff spanning the re-seed jump.
+            self.service.subscriptions.retarget(model)
         logger.info(
             "bootstrapped from leader snapshot at version %d epoch %d "
             "(%d facts)", version, epoch, len(data.get("facts", ())),

@@ -23,9 +23,14 @@ does ``loop.call_soon_threadsafe(queue.put_nowait, …)`` — the socket work
 happens on the server's event loop.
 
 A slow or dead follower never blocks the leader's writers: records queue
-per subscriber, and a follower that stops reading simply falls behind
-until its connection dies and it reconnects from its applied version
-(duplicate suppression on the follower makes redelivery harmless).
+per subscriber — **bounded** by ``max_queue``.  A follower that stops
+reading fills its queue (the serve loop is parked in ``drain()`` on the
+stalled socket) and is then cut off: the overflow handler aborts the
+transport, the stream unwinds, and the follower reconnects from its
+applied version through the ordinary snapshot/history handoff (duplicate
+suppression on the follower makes redelivery harmless).  Leader memory
+per subscriber therefore stays O(``max_queue``) no matter how long a
+connected-but-stalled follower lingers.
 """
 
 from __future__ import annotations
@@ -62,12 +67,21 @@ def _frame(kind: str, data: dict) -> bytes:
     return encode_record(kind, data).encode("ascii") + b"\n"
 
 
+#: Default per-subscriber queue bound: enough to ride out transient
+#: stalls (GC pauses, a slow fsync on the follower) without letting a
+#: wedged-but-connected follower grow leader memory under write churn.
+DEFAULT_MAX_QUEUE = 1024
+
+
 class ReplicationHub:
     """Fan a leader's commit stream out to its follower subscribers."""
 
-    def __init__(self, service) -> None:
+    def __init__(self, service, max_queue: int = DEFAULT_MAX_QUEUE) -> None:
+        if max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
         self.service = service
         self.model = service.model
+        self.max_queue = max_queue
         if not hasattr(self.model, "subscribe_replication"):
             raise StorageError(
                 "replication requires a durable model (data_dir); an "
@@ -79,9 +93,11 @@ class ReplicationHub:
         self._acks: dict[int, int] = {}
 
     @classmethod
-    def attach(cls, service) -> "ReplicationHub":
+    def attach(
+        cls, service, max_queue: int = DEFAULT_MAX_QUEUE
+    ) -> "ReplicationHub":
         """Create a hub and install it as ``service.hub``."""
-        hub = cls(service)
+        hub = cls(service, max_queue=max_queue)
         service.hub = hub
         return hub
 
@@ -161,11 +177,31 @@ class ReplicationHub:
             await writer.drain()
             return
         loop = asyncio.get_running_loop()
-        queue: asyncio.Queue = asyncio.Queue()
+        queue: asyncio.Queue = asyncio.Queue(maxsize=self.max_queue)
+
+        def enqueue(item: tuple) -> None:
+            # Event loop thread.  A full queue means the serve loop below
+            # has been parked in drain() on a stalled socket for max_queue
+            # commits: cut the subscriber off rather than buffer without
+            # bound.  abort() (not close()) tears the transport down
+            # immediately so the blocked drain() raises and the stream
+            # unwinds; the follower reconnects from its applied version
+            # through the snapshot/history handoff.
+            try:
+                queue.put_nowait(item)
+            except asyncio.QueueFull:
+                logger.warning(
+                    "replication subscriber overflowed its %d-record "
+                    "queue (stalled consumer); dropping the stream",
+                    self.max_queue,
+                )
+                transport = writer.transport
+                if transport is not None:
+                    transport.abort()
 
         def on_commit(kind: str, data: dict) -> None:
             # Writer's thread, under the model write lock: hand off only.
-            loop.call_soon_threadsafe(queue.put_nowait, (kind, data))
+            loop.call_soon_threadsafe(enqueue, (kind, data))
 
         # Subscription takes the model write lock (it may wait behind a
         # maintenance sweep): keep it off the event loop.

@@ -12,6 +12,13 @@ Wire format — deliberately minimal so any language can speak it:
 * **Replication:** ``:repl from N`` switches the connection into WAL
   shipping — the server streams :mod:`repro.storage.codec` record frames
   and reads ``:ack N`` lines back (see :mod:`repro.replication.hub`).
+* **Subscription pushes:** after ``:subscribe goal.`` the server
+  interleaves asynchronous ``diff`` / ``sub_dropped`` frames (ordinary
+  ``Response`` JSON lines) with request/reply traffic.  Push frames are
+  only ever written while the connection is idle — between a response
+  and the next request — so a client reads its reply by skipping (and
+  stashing) any push-kind frames that arrive first; :class:`LineClient`
+  does exactly that.
 
 Each connection owns one :class:`~repro.server.session.Session`; request
 handling is pushed onto the service's thread pool so a long query never
@@ -43,9 +50,13 @@ from typing import Optional
 
 from .service import QueryService
 from .session import E_CLOSING, Response
+from .subscriptions import FRAME_DIFF, FRAME_DROPPED
 
 #: Requests longer than this are refused (also bounds the reader buffer).
 MAX_LINE_BYTES = 1 << 20
+
+#: Response kinds a server sends without a matching request.
+PUSH_KINDS = frozenset({FRAME_DIFF, FRAME_DROPPED})
 
 
 class Backoff:
@@ -90,6 +101,12 @@ class _ServerState:
         #: connection handler has exited — the drain barrier stop() waits
         #: on from the caller's thread.
         self.drained = threading.Event()
+        #: Loop-side twin of ``drained``: ``Server.close()`` cancels
+        #: ``serve_forever`` immediately, so the runner must park on
+        #: this future to keep the loop alive while handlers deliver
+        #: their ``server_closing`` responses — otherwise teardown
+        #: cancels them mid-send and idle clients read EOF.
+        self._drained_fut = loop.create_future()
 
     def register(self) -> asyncio.Future:
         waiter = self.loop.create_future()
@@ -101,7 +118,7 @@ class _ServerState:
         self._waiters.discard(waiter)
         self._active -= 1
         if self.closing and self._active <= 0:
-            self.drained.set()
+            self._mark_drained()
 
     def begin_close(self) -> None:
         """Loop thread only: flag shutdown and wake idle readers."""
@@ -110,7 +127,15 @@ class _ServerState:
             if not waiter.done():
                 waiter.set_result(None)
         if self._active <= 0:
-            self.drained.set()
+            self._mark_drained()
+
+    def _mark_drained(self) -> None:
+        self.drained.set()
+        if not self._drained_fut.done():
+            self._drained_fut.set_result(None)
+
+    async def wait_drained(self) -> None:
+        await self._drained_fut
 
 
 async def _send_closing(writer: asyncio.StreamWriter) -> None:
@@ -124,6 +149,28 @@ async def _send_closing(writer: asyncio.StreamWriter) -> None:
         pass
 
 
+def _push_payload(frame: dict) -> Response:
+    return Response(
+        ok=True,
+        kind=frame.get("kind", FRAME_DIFF),
+        data=frame,
+        version=frame.get("version"),
+    )
+
+
+async def _flush_pushes(
+    session, writer: asyncio.StreamWriter, push_event: asyncio.Event
+) -> None:
+    """Write every queued subscription frame (connection-idle only)."""
+    push_event.clear()
+    frames = session.take_push_frames()
+    if not frames:
+        return
+    for frame in frames:
+        writer.write(_push_payload(frame).to_json().encode() + b"\n")
+    await writer.drain()
+
+
 async def handle_connection(
     service: QueryService,
     reader: asyncio.StreamReader,
@@ -134,28 +181,55 @@ async def handle_connection(
     session = service.open_session()
     loop = asyncio.get_running_loop()
     waiter = state.register() if state is not None else None
+    # Subscription frames land in the session's bounded queue from the
+    # dispatcher thread; the event hops them onto this loop so the idle
+    # connection wakes and flushes without polling.
+    push_event = asyncio.Event()
+    session.on_push = lambda: loop.call_soon_threadsafe(push_event.set)
+    #: The in-flight readline, persistent across loop iterations: a push
+    #: wake-up must not cancel (and thereby lose) a partial request.
+    read_task: Optional[asyncio.Future] = None
     try:
         while True:
             if state is not None and state.closing:
                 await _send_closing(writer)
                 break
-            read_task = asyncio.ensure_future(reader.readline())
+            # Deliver queued push frames while the line is idle — frames
+            # only ever appear between a response and the next request,
+            # so replies stay unambiguous for naive clients.
+            await _flush_pushes(session, writer, push_event)
+            if read_task is None:
+                read_task = asyncio.ensure_future(reader.readline())
+            push_wait = asyncio.ensure_future(push_event.wait())
+            waits = {read_task, push_wait}
+            if waiter is not None:
+                waits.add(waiter)
             try:
-                if waiter is not None:
-                    await asyncio.wait(
-                        {read_task, waiter},
-                        return_when=asyncio.FIRST_COMPLETED,
-                    )
-                    if not read_task.done():
-                        # Shutdown arrived while this connection was idle.
-                        read_task.cancel()
-                        try:
-                            await read_task
-                        except (asyncio.CancelledError, Exception):
-                            pass
-                        await _send_closing(writer)
-                        break
-                raw = await read_task
+                await asyncio.wait(
+                    waits, return_when=asyncio.FIRST_COMPLETED
+                )
+            finally:
+                if not push_wait.done():
+                    push_wait.cancel()
+                    try:
+                        await push_wait
+                    except asyncio.CancelledError:
+                        pass
+            if waiter is not None and waiter.done() \
+                    and not read_task.done():
+                # Shutdown arrived while this connection was idle.
+                read_task.cancel()
+                try:
+                    await read_task
+                except (asyncio.CancelledError, Exception):
+                    pass
+                read_task = None
+                await _send_closing(writer)
+                break
+            if not read_task.done():
+                continue                   # woken by a push; flush above
+            try:
+                raw = read_task.result()
             except (asyncio.LimitOverrunError, ValueError):
                 payload = Response.failure(
                     "line_too_long",
@@ -164,6 +238,8 @@ async def handle_connection(
                 writer.write(payload.to_json().encode() + b"\n")
                 await writer.drain()
                 break
+            finally:
+                read_task = None
             if not raw:
                 break                      # EOF: client went away
             line = raw.decode("utf-8", errors="replace").strip()
@@ -190,14 +266,23 @@ async def handle_connection(
                 break
             # Session work runs on the service pool: parsing and query
             # evaluation are CPU-bound and must not block the event loop.
+            # Blocking waits (:sync) go to the dedicated waiter pool so
+            # parked clients never pin query workers.
             response = await loop.run_in_executor(
-                service._pool, session.execute, line
+                service.executor_for(line), session.execute, line
             )
             writer.write(response.to_json().encode() + b"\n")
             await writer.drain()
     except ConnectionError:
         pass                               # mid-session disconnect
     finally:
+        session.on_push = None
+        if read_task is not None and not read_task.done():
+            read_task.cancel()
+            try:
+                await read_task
+            except (asyncio.CancelledError, Exception):
+                pass
         if state is not None:
             state.unregister(waiter)
         session.close()                    # discards pending, releases pins
@@ -274,8 +359,17 @@ def run_in_thread(
             box["server"] = server
             box["state"] = state
             started.set()
-            async with server:
-                await server.serve_forever()
+            try:
+                async with server:
+                    await server.serve_forever()
+            except asyncio.CancelledError:
+                pass
+            # stop()'s server.close() cancels serve_forever at once;
+            # hold the loop open until every connection handler has
+            # unregistered (closing responses sent), else the teardown
+            # below cancels them mid-send.  A stuck handler is bounded
+            # by stop()'s _finish, which cancels this wait too.
+            await state.wait_drained()
 
         try:
             loop.run_until_complete(main())
@@ -363,6 +457,9 @@ class LineClient:
         self._backoff = Backoff(backoff_initial, backoff_max)
         self._sock: Optional[socket.socket] = None
         self._file = None
+        #: Asynchronous ``diff``/``sub_dropped`` frames read while waiting
+        #: for a reply; drain via :meth:`take_pushes` / :meth:`recv_push`.
+        self.pushes: list[Response] = []
         self._connect()
 
     def _connect(self) -> None:
@@ -423,6 +520,16 @@ class LineClient:
     def _send_once(self, line: str) -> Response:
         self._file.write(line.encode() + b"\n")
         self._file.flush()
+        while True:
+            response = self._read_response()
+            if response.kind in PUSH_KINDS:
+                # Push frames written while our request was in flight:
+                # stash them; the reply is the next non-push line.
+                self.pushes.append(response)
+                continue
+            return response
+
+    def _read_response(self) -> Response:
         raw = self._file.readline()
         if not raw:
             raise ConnectionError("server closed the connection")
@@ -433,6 +540,31 @@ class LineClient:
             # answering.  Surface it as a connection failure so the
             # bounded-reconnect path retries against the replacement.
             raise ConnectionError("server is shutting down")
+        return response
+
+    def take_pushes(self) -> list[Response]:
+        """Already-received push frames, oldest first (non-blocking)."""
+        out, self.pushes = self.pushes, []
+        return out
+
+    def recv_push(self, timeout: Optional[float] = None) -> Optional[Response]:
+        """Wait for one asynchronous push frame; ``None`` on timeout.
+
+        Returns a stashed frame immediately when one is queued, otherwise
+        blocks on the socket.  Must not race a concurrent :meth:`send`
+        (the client is single-threaded by contract).
+        """
+        if self.pushes:
+            return self.pushes.pop(0)
+        if self._sock is None or self._file is None:
+            raise ConnectionError("not connected")
+        self._sock.settimeout(timeout if timeout is not None else self.timeout)
+        try:
+            response = self._read_response()
+        except (socket.timeout, TimeoutError):
+            return None
+        finally:
+            self._sock.settimeout(self.timeout)
         return response
 
     def query(self, goal: str) -> Response:

@@ -36,6 +36,7 @@ from ..engine.maintenance import ModelSnapshot, VersionedModel
 from ..engine.setops import with_set_builtins
 from ..lang import parse_program, pretty_clause
 from .session import Response, Session, SessionStats
+from .subscriptions import SubscriptionManager
 
 
 class QueryService:
@@ -68,7 +69,9 @@ class QueryService:
         model: Optional[VersionedModel] = None,
         ack_replicas: int = 0,
         ack_timeout: float = 30.0,
+        max_pending_diffs: int = 256,
     ) -> None:
+        self.max_pending_diffs = max_pending_diffs
         if model is not None:
             # An externally managed model (the follower path: the
             # FollowerService owns a DurableModel the shipping thread
@@ -138,6 +141,13 @@ class QueryService:
         self.follower = None
         self.ack_replicas = ack_replicas
         self.ack_timeout = ack_timeout
+        #: Standing-query registry + diff dispatcher (:subscribe).
+        self.subscriptions = SubscriptionManager(self)
+        #: Lazily created pool for blocking waits (``:sync``): parked
+        #: clients must never pin ``lps-query`` workers, or pool-size
+        #: concurrent syncs would starve every query until a timeout.
+        self._waiter_pool: Optional[ThreadPoolExecutor] = None
+        self._waiter_lock = threading.Lock()
 
     # -- sessions ----------------------------------------------------------------
 
@@ -145,7 +155,8 @@ class QueryService:
         if self._closed:
             raise RuntimeError("service is shut down")
         session = self.session_class(
-            self.model, max_batch=self.max_batch, service=self
+            self.model, max_batch=self.max_batch, service=self,
+            max_pending_diffs=self.max_pending_diffs,
         )
         with self._sessions_lock:
             self._sessions[session.session_id] = session
@@ -157,6 +168,7 @@ class QueryService:
         with self._sessions_lock:
             if self._sessions.pop(session.session_id, None) is not None:
                 self._retired_stats.merge(session.stats_snapshot())
+        self.subscriptions.drop_session(session)
 
     def session_count(self) -> int:
         with self._sessions_lock:
@@ -169,8 +181,26 @@ class QueryService:
         return session.execute(line)
 
     def submit(self, session: Session, line: str) -> "Future[Response]":
-        """Run one request on the service thread pool."""
-        return self._pool.submit(session.execute, line)
+        """Run one request on the service thread pool (blocking waits go
+        to the dedicated waiter pool, see :meth:`executor_for`)."""
+        return self.executor_for(line).submit(session.execute, line)
+
+    def executor_for(self, line: str) -> ThreadPoolExecutor:
+        """The pool a request line should run on.
+
+        ``:sync`` parks on the model's version condition for up to its
+        timeout; routing it to a separate waiter pool keeps the query
+        pool's workers available no matter how many clients are waiting
+        (regression-tested in ``tests/test_subscribe.py``).
+        """
+        if line.lstrip().startswith(":sync"):
+            with self._waiter_lock:
+                if self._waiter_pool is None:
+                    self._waiter_pool = ThreadPoolExecutor(
+                        max_workers=64, thread_name_prefix="lps-sync"
+                    )
+                return self._waiter_pool
+        return self._pool
 
     # -- writes / program --------------------------------------------------------
 
@@ -266,7 +296,14 @@ class QueryService:
             live = list(self._sessions.values())
         for session in live:
             session.close()
+        self.subscriptions.stop()
         self._pool.shutdown(wait=True)
+        with self._waiter_lock:
+            waiters, self._waiter_pool = self._waiter_pool, None
+        if waiters is not None:
+            # Parked ``:sync`` waits run out their own (client-chosen)
+            # timeouts; don't hold shutdown hostage to them.
+            waiters.shutdown(wait=False, cancel_futures=True)
         close = getattr(self.model, "close", None)
         if close is not None:
             close()

@@ -36,9 +36,9 @@ from __future__ import annotations
 import itertools
 import json
 import threading
-import time
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Optional
+from typing import Any, Callable, Iterable, Optional
 
 from ..core.atoms import Atom
 from ..core.clauses import GroupingClause, LPSClause
@@ -61,6 +61,7 @@ from ..engine.maintenance import (
 )
 from ..engine.planner import compile_grouping, compile_rule
 from ..lang import parse_atom, parse_program
+from .subscriptions import render_rows
 
 #: Structured error codes (stable protocol surface; tests key on these).
 E_PARSE = "parse_error"
@@ -87,7 +88,9 @@ class Response:
     """One structured reply: what a request did, or why it could not.
 
     ``kind`` names the payload shape (``answers``, ``write``, ``stats``,
-    ``model``, ``plan``, ``version``, ``ok``, ``error``); ``version`` is
+    ``model``, ``plan``, ``version``, ``ok``, ``error``, ``subscribed``,
+    ``diffs``, and the async push kinds ``diff``/``sub_dropped``);
+    ``version`` is
     the snapshot version the request observed or produced, when there is
     one.  Serialization is a single JSON line, the protocol's wire format.
     """
@@ -187,6 +190,7 @@ class Session:
         model: VersionedModel,
         max_batch: int = 10_000,
         service: Optional["QueryService"] = None,
+        max_pending_diffs: int = 256,
     ) -> None:
         self.session_id = next(Session._ids)
         self._model = model
@@ -202,6 +206,14 @@ class Session:
         self.stats = SessionStats()
         #: Per-rule compilation cache for repeated query shapes.
         self._query_cache: dict[tuple, _CompiledRule] = {}
+        #: Queued subscription push frames (drained by ``:diffs`` or the
+        #: protocol's async push path); bounded — an undrained session's
+        #: subscriptions are dropped rather than growing the server.
+        self._max_pending_diffs = max_pending_diffs
+        self._push_frames: deque[dict] = deque()
+        #: Protocol hook: called (from the dispatcher thread) after a
+        #: frame is enqueued, so the connection can wake and flush.
+        self.on_push: Optional[Callable[[], None]] = None
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -221,6 +233,8 @@ class Session:
                 return
             self._closed = True
             self._pending = None
+            self._push_frames.clear()
+            self.on_push = None
         for v in self._pinned:
             self._model.release(v)
         self._pinned.clear()
@@ -474,6 +488,129 @@ class Session:
             return self._service.refuse_write()
         return None
 
+    # -- live subscriptions ------------------------------------------------------
+
+    def subscribe(self, text: str) -> Response:
+        """``:subscribe goal.`` — register a standing query.
+
+        The goal compiles through the same planner as ad-hoc queries; the
+        reply carries the full answer set at the baseline version, and
+        every later commit that moves the answer set pushes an exact
+        ``diff`` frame (see :mod:`repro.server.subscriptions`).
+
+        A pending ``:begin`` batch is deliberately *not* flushed: the
+        baseline is the latest published version, so staged writes arrive
+        as the subscription's first diff when the batch commits.
+        """
+        self._check_open()
+        manager = self._subscriptions()
+        if manager is None:
+            return Response.failure(
+                E_COMMAND,
+                "subscriptions require an owning query service",
+            )
+        rule = self._compiled_query(text.strip().rstrip("."))
+        sub_id, snap = manager.subscribe(self, rule)
+        try:
+            stats = SessionStats()
+            rows = self._execute_rule(rule, snap, stats)
+            stats.queries += 1
+            stats.answers += len(rows)
+            with self._lock:
+                self.stats.merge(stats)
+        except Exception:
+            # Never leave a half-registered standing query behind a
+            # failed initial evaluation (e.g. an unsafe goal).
+            manager.unsubscribe(self, sub_id)
+            raise
+        return Response(
+            ok=True, kind="subscribed",
+            data={
+                "sub": sub_id,
+                "vars": [v.name for v in rule.head.args],
+                "rows": render_rows(rows),
+                "truth": bool(rows),
+            },
+            version=snap.version,
+        )
+
+    def unsubscribe(self, sub_id: int) -> Response:
+        """``:unsubscribe N`` — cancel one of this session's standing
+        queries; frames already queued stay drainable via ``:diffs``."""
+        self._check_open()
+        manager = self._subscriptions()
+        if manager is None or not manager.unsubscribe(self, sub_id):
+            return Response.failure(
+                E_COMMAND, f"unknown subscription {sub_id}"
+            )
+        return Response(
+            ok=True, kind="ok",
+            data={"sub": sub_id, "active": manager.session_subs(self)},
+        )
+
+    def diffs(self, arg: str = "") -> Response:
+        """``:diffs [N]`` — drain (up to N of) the queued push frames."""
+        self._check_open()
+        limit: Optional[int] = None
+        arg = arg.rstrip(".").strip()
+        if arg:
+            try:
+                limit = int(arg)
+            except ValueError:
+                return Response.failure(
+                    E_COMMAND, f"usage: :diffs [MAX] (got {arg!r})"
+                )
+        frames = self.take_push_frames(limit)
+        return Response(
+            ok=True, kind="diffs",
+            data={"frames": frames, "pending": self.pending_push_count()},
+            version=self._model.version,
+        )
+
+    def _subscriptions(self):
+        if self._service is None:
+            return None
+        return getattr(self._service, "subscriptions", None)
+
+    def push_frame(self, frame: dict, force: bool = False) -> bool:
+        """Enqueue one push frame (dispatcher-side delivery hook).
+
+        Returns ``False`` — without enqueuing — when the session is
+        closed or its queue is full, which tells the dispatcher to drop
+        the subscription; ``force`` bypasses the bound so the final
+        ``sub_dropped`` notice itself always fits.
+        """
+        with self._lock:
+            if self._closed:
+                return False
+            if not force and len(self._push_frames) >= self._max_pending_diffs:
+                return False
+            self._push_frames.append(frame)
+        cb = self.on_push
+        if cb is not None:
+            try:
+                cb()
+            except Exception:
+                pass
+        return True
+
+    def take_push_frames(self, limit: Optional[int] = None) -> list[dict]:
+        """Drain queued push frames (all of them, or the oldest ``limit``)."""
+        with self._lock:
+            if limit is None or limit >= len(self._push_frames):
+                out = list(self._push_frames)
+                self._push_frames.clear()
+            else:
+                out = [
+                    self._push_frames.popleft()
+                    for _ in range(max(0, limit))
+                ]
+            return out
+
+    def pending_push_count(self) -> int:
+        with self._lock:
+            return len(self._push_frames)
+
     # -- the REPL grammar --------------------------------------------------------
 
     def execute(self, line: str) -> Response:
@@ -592,6 +729,18 @@ class Session:
                     E_COMMAND, f"usage: :sync VERSION [TIMEOUT] (got {arg!r})"
                 )
             return self._sync(version, timeout)
+        if cmd == ":subscribe":
+            return self.subscribe(arg)
+        if cmd == ":unsubscribe":
+            try:
+                sub_id = int(arg.rstrip("."))
+            except ValueError:
+                return Response.failure(
+                    E_COMMAND, f"usage: :unsubscribe N (got {arg!r})"
+                )
+            return self.unsubscribe(sub_id)
+        if cmd == ":diffs":
+            return self.diffs(arg)
         if cmd == ":role":
             if self._service is not None:
                 data = self._service.role_info()
@@ -630,26 +779,22 @@ class Session:
         reading there.  On a leader this returns immediately (versions
         only advance through acknowledged writes).
         """
-        deadline = time.monotonic() + max(0.0, timeout)
-        while True:
-            latest = self._model.version
-            if latest >= version:
-                return Response(
-                    ok=True, kind="version",
-                    data={"latest": latest}, version=latest,
-                )
-            if time.monotonic() >= deadline:
-                with self._lock:
-                    self.stats.errors += 1
-                return Response(
-                    ok=False, kind="error", code=E_NOT_YET,
-                    error=(
-                        f"version {version} not applied within "
-                        f"{timeout:g}s (still at {latest})"
-                    ),
-                    data={"retryable": True, "latest": latest},
-                )
-            time.sleep(0.002)
+        latest = self._model.wait_version(version, timeout)
+        if latest >= version:
+            return Response(
+                ok=True, kind="version",
+                data={"latest": latest}, version=latest,
+            )
+        with self._lock:
+            self.stats.errors += 1
+        return Response(
+            ok=False, kind="error", code=E_NOT_YET,
+            error=(
+                f"version {version} not applied within "
+                f"{timeout:g}s (still at {latest})"
+            ),
+            data={"retryable": True, "latest": latest},
+        )
 
     def _promote(self) -> Response:
         return Response.failure(

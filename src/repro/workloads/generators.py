@@ -474,6 +474,79 @@ def failover_plan(
     )
 
 
+@dataclass(frozen=True)
+class SubscriptionPlan:
+    """A deterministic churn-plus-subscribers schedule for the service.
+
+    ``goals[k]`` is the text of standing query ``k``;
+    ``subscribe_at[k]`` / ``unsubscribe_at[k]`` are the batch indices
+    before which subscriber ``k`` registers and (when ``>= 0``) cancels,
+    so subscriptions open and close mid-churn; ``batches`` is the writer
+    stream.  Everything derives from the seed, so a diff-equivalence
+    failure reproduces from ``(workload args, seed)``.
+    """
+
+    program: str
+    initial_facts: tuple[tuple, ...]
+    batches: tuple[ChurnBatch, ...]
+    goals: tuple[str, ...]
+    subscribe_at: tuple[int, ...]
+    unsubscribe_at: tuple[int, ...]
+
+
+def subscriber_plan(
+    n_nodes: int = 12,
+    n_edges: int = 24,
+    n_batches: int = 16,
+    batch_size: int = 2,
+    n_subscribers: int = 6,
+    p_unsubscribe: float = 0.4,
+    seed: int = 0,
+) -> SubscriptionPlan:
+    """Edge churn over :data:`CRASH_RECOVERY_PROGRAM` with standing
+    queries riding along.
+
+    Goals mix half-bound closure lookups (``t(vI, X)``), ground probes
+    (``t(vI, vJ)``), the fully open dump (``t(X, Y)``) and a conjunctive
+    goal (``t(X, Y), e(Y, Z)``) — the shapes the subscription manager
+    must diff exactly.  Subscribers register at staggered batch indices
+    and a ``p_unsubscribe`` fraction cancel mid-churn.
+    """
+    rng = random.Random(seed + 13)
+    base = crash_recovery(
+        n_nodes=n_nodes, n_edges=n_edges, n_batches=n_batches,
+        batch_size=batch_size, n_crashes=0, seed=seed,
+    )
+    goals: list[str] = []
+    for k in range(n_subscribers):
+        r = rng.random()
+        if r < 0.15:
+            goals.append("t(X, Y)")
+        elif r < 0.3:
+            a, b = rng.randrange(n_nodes), rng.randrange(n_nodes)
+            goals.append(f"t(v{a}, v{b})")
+        elif r < 0.45:
+            goals.append("t(X, Y), e(Y, Z)")
+        else:
+            goals.append(f"t(v{rng.randrange(n_nodes)}, X)")
+    subscribe_at = tuple(
+        rng.randrange(max(1, n_batches // 2)) for _ in range(n_subscribers)
+    )
+    unsubscribe_at = tuple(
+        rng.randrange(subscribe_at[k] + 1, n_batches + 1)
+        if rng.random() < p_unsubscribe else -1
+        for k in range(n_subscribers)
+    )
+    return SubscriptionPlan(
+        program=base.program,
+        initial_facts=base.initial_facts,
+        batches=base.batches,
+        goals=tuple(goals),
+        subscribe_at=subscribe_at,
+        unsubscribe_at=unsubscribe_at,
+    )
+
+
 def number_set(n: int, seed: int = 0) -> frozenset[int]:
     """``n`` distinct positive integers (for the Example 5 sum benchmark)."""
     rng = random.Random(seed)

@@ -668,3 +668,48 @@ class TestFencingOnReplay:
             assert m.epoch == 1 and m.version == 2
         finally:
             m.close()
+
+
+# ---------------------------------------------------------------------------
+# Backpressure: a stalled subscriber is cut off, not buffered without bound
+# ---------------------------------------------------------------------------
+
+
+class TestBackpressure:
+    def test_stalled_subscriber_is_cut_off_not_buffered(self, tmp_path):
+        """A follower that subscribes and never reads must be dropped
+        once its bounded record queue overflows — leader memory stays
+        O(max_queue) and writers never block on the dead stream.  (The
+        follower would then reconnect through the ordinary
+        snapshot/history handoff; reconnect idempotence is covered
+        above.)"""
+        svc = QueryService(
+            TC, data_dir=tmp_path / "leader", fsync="never",
+            checkpoint_every=None,
+        )
+        hub = ReplicationHub.attach(svc, max_queue=4)
+        with run_in_thread(svc) as h:
+            sock = socket.create_connection((h.host, h.port), timeout=5)
+            try:
+                sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, 1)
+                sock.sendall(b":repl from 0\n")
+                assert wait_until(
+                    lambda: hub.replica_info()["replicas"] == 1
+                )
+                # Big records fill the transport buffer fast, parking the
+                # serve loop in drain(); the queue then overflows.
+                blob = "x" * 262144
+                for i in range(120):
+                    svc.apply_delta(adds=[("e", f"{blob}{i}", f"v{i}")])
+                    if hub.replica_info()["replicas"] == 0:
+                        break
+                assert wait_until(
+                    lambda: hub.replica_info()["replicas"] == 0
+                ), "stalled subscriber was never dropped"
+                # The leader is unaffected: writes still commit.
+                before = svc.model.version
+                snap = svc.apply_delta(adds=[("e", "a", "b")])
+                assert snap.version == before + 1
+            finally:
+                sock.close()
+        svc.shutdown()
