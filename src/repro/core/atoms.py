@@ -34,8 +34,11 @@ class Atom:
         self._ground = None
         self._fv = None
 
-    def __getnewargs__(self):  # pragma: no cover - pickling support
-        return (self.pred, self.args)
+    def __reduce__(self):
+        # Rebuild through __init__ so cached slots (``_hash``, ``_ground``,
+        # ``_fv``) — and the args' process-local ``_tid`` id slots — are
+        # recomputed on unpickle instead of restored from foreign state.
+        return (type(self), (self.pred, self.args))
 
     def __eq__(self, other: object) -> bool:
         if self is other:

@@ -120,8 +120,12 @@ class Var(Term):
             _VAR_INTERN[key] = self
         return self
 
-    def __getnewargs__(self):
-        return (self.name, self.var_sort)
+    def __reduce__(self):
+        # Rebuild through the interning constructor so no cached slot —
+        # in particular the process-local ``_tid`` dense-ID slot — ever
+        # crosses a pickle boundary: unpickling re-interns and the local
+        # ``TERM_DICT`` re-derives its own id lazily.
+        return (type(self), (self.name, self.var_sort))
 
     def __eq__(self, other: object) -> bool:
         if self is other:
@@ -175,8 +179,9 @@ class Const(Term):
             _CONST_INTERN[key] = self
         return self
 
-    def __getnewargs__(self):
-        return (self.value,)
+    def __reduce__(self):
+        # See Var.__reduce__: re-intern on unpickle, never ship ``_tid``.
+        return (type(self), (self.value,))
 
     def __eq__(self, other: object) -> bool:
         if self is other:
@@ -227,8 +232,10 @@ class App(Term):
         self._canon = None
         self._tid = -1
 
-    def __getnewargs__(self):  # pragma: no cover - pickling support
-        return (self.fname, self.args)
+    def __reduce__(self):
+        # Rebuild through __init__: slot state (``_tid``, ``_hash``,
+        # ``_canon``) is process-local and must be recomputed on unpickle.
+        return (type(self), (self.fname, self.args))
 
     def __eq__(self, other: object) -> bool:
         if self is other:
@@ -288,8 +295,9 @@ class SetExpr(Term):
         self._canon = None
         self._tid = -1
 
-    def __getnewargs__(self):  # pragma: no cover - pickling support
-        return (self.elems,)
+    def __reduce__(self):
+        # See App.__reduce__: recompute caches on unpickle.
+        return (type(self), (self.elems,))
 
     def __eq__(self, other: object) -> bool:
         if self is other:
@@ -358,8 +366,9 @@ class SetValue(Term):
             _SET_INTERN[elems] = self
         return self
 
-    def __getnewargs__(self):
-        return (self.elems,)
+    def __reduce__(self):
+        # See Var.__reduce__: re-intern on unpickle, never ship ``_tid``.
+        return (type(self), (self.elems,))
 
     def __eq__(self, other: object) -> bool:
         if self is other:

@@ -632,6 +632,12 @@ class EvalOptions:
                           Default from ``REPRO_COLUMNAR`` (on unless the
                           env var is ``0``/``false``/``no``/``off``).
                           Only meaningful with ``compile_plans``.
+    ``shards``          — evaluate recursive conjunctive strata across this
+                          many worker processes (see DESIGN.md, "Sharded
+                          parallel evaluation"); ``<= 1`` or any stratum
+                          the partitioner cannot prove safe falls back to
+                          the single-process fixpoint, so the model is
+                          bit-identical at every shard count.
     """
 
     semi_naive: bool = True
@@ -643,6 +649,7 @@ class EvalOptions:
     plan_joins: bool = True
     compile_plans: bool = True
     columnar: bool = field(default_factory=lambda: _default_columnar())
+    shards: int = 1
 
 
 @dataclass
@@ -758,6 +765,10 @@ class Evaluator:
         )
         #: grouping clause -> compiled body plan (keyed with plan_joins).
         self._grouping_plans: dict[tuple, CompiledPlan] = {}
+        #: lazy ShardCoordinator (options.shards > 1 only); once sharding
+        #: proves unavailable for this evaluator it stays off.
+        self._coordinator = None
+        self._sharding_unavailable = False
 
     def _check_builtin_heads(self) -> None:
         for c in self.program.clauses:
@@ -766,6 +777,50 @@ class Evaluator:
                 raise EvaluationError(
                     f"clause head uses builtin predicate {head_pred!r}"
                 )
+
+    # -- sharding ----------------------------------------------------------------
+
+    def _shard_coordinator(self):
+        """The worker pool, spawned on first use — or ``None`` whenever
+        this evaluator's configuration cannot shard (then the single-
+        process path below is the only path, as before)."""
+        if self._sharding_unavailable:
+            return None
+        if self._coordinator is not None:
+            if self._coordinator.broken:
+                self._sharding_unavailable = True
+                return None
+            return self._coordinator
+        o = self.options
+        if o.shards <= 1 or o.track_provenance or not o.semi_naive:
+            self._sharding_unavailable = True
+            return None
+        from ..parallel import ShardCoordinator, builtin_profile
+
+        profile = builtin_profile(self.builtins)
+        if profile is None:
+            self._sharding_unavailable = True
+            return None
+        try:
+            self._coordinator = ShardCoordinator(
+                self.program, o.shards, o, profile
+            )
+        except Exception:
+            self._sharding_unavailable = True
+            return None
+        return self._coordinator
+
+    def close(self) -> None:
+        """Shut down shard workers, if any were spawned."""
+        if self._coordinator is not None:
+            self._coordinator.close()
+            self._coordinator = None
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass
 
     # -- main loop ---------------------------------------------------------------
 
@@ -813,11 +868,23 @@ class Evaluator:
                     interp.add(a)
                     if provenance is not None:
                         provenance.note_given(a)
-            for stratum in self.stratification.strata:
+            groups = self.stratification.rule_groups()
+            for gi, stratum in enumerate(self.stratification.strata):
                 grouping = [c for c in stratum if isinstance(c, GroupingClause)]
                 normal = [c for c in stratum if isinstance(c, LPSClause)]
                 for g in grouping:
                     self._apply_grouping(g, interp, domain, report, provenance)
+                if normal and provenance is None:
+                    coord = self._shard_coordinator()
+                    if coord is not None:
+                        from ..parallel import shardable_group
+
+                        if shardable_group(groups[gi], self.builtins):
+                            result = coord.eval_stratum(
+                                groups[gi], interp, domain, report
+                            )
+                            if result is not None:
+                                continue
                 self._fixpoint(normal, interp, domain, report, provenance)
             if domain.version == version_before:
                 report.passes = passes
@@ -833,6 +900,7 @@ class Evaluator:
         report: EvalReport,
         provenance=None,
         seed_deltas: Optional[Mapping[str, frozenset[Atom]]] = None,
+        shard=None,
     ) -> dict[str, set[Atom]]:
         """Run one stratum to fixpoint; returns the atoms added, per predicate.
 
@@ -846,6 +914,13 @@ class Evaluator:
         one, so a naive round would redo the entire join work.  The same
         subsystem consumes the return value as the stratum's exact gained
         set (the evaluator's own passes ignore it).
+
+        ``shard`` (a ``repro.parallel.worker.ShardContext``) makes this
+        the per-worker fixpoint of sharded evaluation: every derived head
+        passes through ``shard.admit`` — owned heads proceed exactly as
+        usual, foreign heads are dropped locally and, when the deriving
+        rule read a partitioned predicate, queued for shipment to their
+        owner shard.
         """
         added: dict[str, set[Atom]] = {}
         # Non-ground unit clauses (e.g. the ∅ base cases produced by the
@@ -854,6 +929,11 @@ class Evaluator:
         facts = [c for c in rules if c.is_fact and c.head.is_ground()]
         proper = [c for c in rules if not (c.is_fact and c.head.is_ground())]
         for c in facts:
+            # Under sharding every worker sees the full program; a ground
+            # fact clause belongs only to its owner (nothing is shipped —
+            # the owner derives its own copy from the same clause).
+            if shard is not None and not shard.admit(c.head, False):
+                continue
             if interp.add(c.head):
                 domain.note_atom(c.head)
                 report.derived += 1
@@ -915,6 +995,7 @@ class Evaluator:
                 if not rule.affected(changed_preds, domain_grew):
                     continue
                 report.rule_applications += 1
+                exportable = shard is not None and shard.exportable(rule.deps)
                 use_delta = (
                     self.options.semi_naive
                     and provenance is None
@@ -928,7 +1009,8 @@ class Evaluator:
                     )
                     for head in derived:
                         if head not in interp and head not in new_atoms:
-                            new_atoms.add(head)
+                            if shard is None or shard.admit(head, exportable):
+                                new_atoms.add(head)
                 elif provenance is not None:
                     for head, env in rule.derive_with_env(solver):
                         if head not in interp and head not in new_atoms:
@@ -947,7 +1029,8 @@ class Evaluator:
                         derived = rule.derive(solver)
                     for head in derived:
                         if head not in interp and head not in new_atoms:
-                            new_atoms.add(head)
+                            if shard is None or shard.admit(head, exportable):
+                                new_atoms.add(head)
             if not new_atoms:
                 break
             delta_map: dict[str, set[Atom]] = {}

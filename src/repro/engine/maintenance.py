@@ -752,7 +752,9 @@ class MaterializedModel:
                     rederived.setdefault(h.pred, set()).add(h)
                     add_events.setdefault(h.pred, set()).add(h)
             if rederived:
-                closure = self._seeded_fixpoint(lps_clauses, rederived, stats)
+                closure = self._seeded_fixpoint(
+                    lps_clauses, rederived, stats, group=group
+                )
                 for p, s in closure.items():
                     add_events.setdefault(p, set()).update(s)
 
@@ -766,7 +768,9 @@ class MaterializedModel:
         for p, s in dep_gained.items():
             seed.setdefault(p, set()).update(s)
         if seed:
-            closure = self._seeded_fixpoint(lps_clauses, seed, stats)
+            closure = self._seeded_fixpoint(
+                lps_clauses, seed, stats, group=group
+            )
             for p, s in closure.items():
                 add_events.setdefault(p, set()).update(s)
         return add_events, rem_events
@@ -851,13 +855,35 @@ class MaterializedModel:
         clauses: list[LPSClause],
         seed: Mapping[str, set[Atom]],
         stats: SolverStats,
+        group: Optional[StratumRules] = None,
     ) -> dict[str, set[Atom]]:
-        """Close a stratum from the given deltas; returns the atoms added."""
+        """Close a stratum from the given deltas; returns the atoms added.
+
+        With ``group`` and a sharding evaluator (``EvalOptions.shards``),
+        shardable strata close across the worker pool: the seed atoms are
+        already in the interpretation, so the coordinator ships them as
+        delta pins (owner-routed for this stratum's predicates, broadcast
+        for lower-stratum dependencies) and gathers the closure back.  Any
+        failure falls through to the single-process path below.
+        """
+        report = EvalReport(stats=stats, exec=self.exec_stats)
+        if group is not None:
+            coord = self._evaluator._shard_coordinator()
+            if coord is not None:
+                from ..parallel import shardable_group
+
+                if shardable_group(group, self._evaluator.builtins):
+                    result = coord.eval_stratum(
+                        group, self._interp, self._domain, report,
+                        seeds=seed,
+                    )
+                    if result is not None:
+                        return result
         return self._evaluator._fixpoint(
             clauses,
             self._interp,
             self._domain,
-            EvalReport(stats=stats, exec=self.exec_stats),
+            report,
             seed_deltas={p: frozenset(s) for p, s in seed.items()},
         )
 

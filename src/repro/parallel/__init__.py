@@ -1,0 +1,26 @@
+"""Sharded parallel evaluation (see DESIGN.md, "Sharded parallel evaluation").
+
+A coordinator process hash-partitions a recursive stratum's facts across
+N ``multiprocessing`` workers; each worker runs the existing plan-IR
+semi-naive fixpoint over its shard and ships cross-shard delta tuples
+through the ``storage.codec`` wire format between rounds.  Everything is
+gated behind ``EvalOptions.shards`` with a single-process fallback for
+strata the partitioner cannot prove safe.
+"""
+
+from .partition import (
+    choose_partition,
+    preserved_positions,
+    shard_of,
+    shardable_group,
+)
+from .coordinator import ShardCoordinator, builtin_profile
+
+__all__ = [
+    "ShardCoordinator",
+    "builtin_profile",
+    "choose_partition",
+    "preserved_positions",
+    "shard_of",
+    "shardable_group",
+]

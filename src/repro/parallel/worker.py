@@ -1,0 +1,210 @@
+"""Shard worker process: the plan-IR semi-naive fixpoint over one shard.
+
+Each worker owns one hash-partition of the stratum being evaluated plus
+a full replica of every relation the stratum reads from lower strata.
+It runs the **existing** ``Evaluator._fixpoint`` (plan-IR, semi-naive,
+columnar-capable) over that local interpretation; a :class:`ShardContext`
+hook routes each derived head — owned heads stay local and drive further
+local rounds, foreign heads accumulate in per-destination outboxes that
+the coordinator ships between rounds as ``storage.codec`` atom text
+(**never** raw ``TERM_DICT`` ids; the receiving worker re-interns on
+decode).
+
+A worker is stateless between strata: every ``eval`` message carries the
+complete shard state for one stratum, so the coordinator's own
+interpretation remains the single source of truth and a failed sharded
+attempt can always fall back to the single-process path unchanged.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Mapping, Optional
+
+from ..core.atoms import Atom
+from ..engine.builtins import DEFAULT_BUILTINS
+from ..engine.evaluation import (
+    ActiveDomain,
+    EvalOptions,
+    EvalReport,
+    Evaluator,
+    SolverStats,
+)
+from ..engine.setops import with_set_builtins
+from ..lang import parse_program
+from ..semantics.interpretation import Interpretation
+from ..storage.codec import decode_atoms, encode_atoms
+from .partition import shard_of
+
+
+def builtins_for_profile(name: str):
+    if name == "setops":
+        return with_set_builtins()
+    return DEFAULT_BUILTINS
+
+
+class ShardContext:
+    """Head-routing hook threaded through ``Evaluator._fixpoint``.
+
+    ``admit(head, exportable)`` decides, per derived head, whether the
+    calling fixpoint should keep it: owned heads are admitted; foreign
+    heads are dropped locally and — when the deriving rule reads a
+    partitioned predicate, i.e. the derivation happened *only* on this
+    shard — recorded once in the owner's outbox.  Heads of rules that
+    read no partitioned predicate are derived identically by every
+    worker, so the owner already has them and nothing is shipped.
+    """
+
+    __slots__ = ("index", "n_shards", "spec", "partitioned", "_outbox",
+                 "_shipped")
+
+    def __init__(self, index: int, n_shards: int,
+                 spec: Mapping[str, int], partitioned: frozenset) -> None:
+        self.index = index
+        self.n_shards = n_shards
+        self.spec = spec
+        self.partitioned = partitioned
+        self._outbox: dict[int, list[Atom]] = {}
+        self._shipped: set[Atom] = set()
+
+    def exportable(self, rule_deps: set) -> bool:
+        return bool(self.partitioned & rule_deps)
+
+    def admit(self, head: Atom, exportable: bool) -> bool:
+        dest = shard_of(head, self.spec, self.n_shards)
+        if dest == self.index:
+            return True
+        if exportable and head not in self._shipped:
+            self._shipped.add(head)
+            self._outbox.setdefault(dest, []).append(head)
+        return False
+
+    def drain(self) -> dict[int, list[Atom]]:
+        out, self._outbox = self._outbox, {}
+        return out
+
+
+class _StratumRun:
+    """One stratum's shard-local state, alive between exchange rounds."""
+
+    def __init__(self, evaluator: Evaluator, index: int, n_shards: int,
+                 msg: dict) -> None:
+        self.evaluator = evaluator
+        head_preds = frozenset(msg["head_preds"])
+        for group in evaluator.stratification.rule_groups():
+            if group.head_preds == head_preds:
+                self.clauses = [c for c in group.clauses]
+                break
+        else:
+            raise LookupError(
+                f"no stratum with head predicates {sorted(head_preds)}; "
+                "coordinator and worker stratifications disagree"
+            )
+        self.ctx = ShardContext(index, n_shards, msg["partition"], head_preds)
+        self.interp = Interpretation()
+        self.domain = ActiveDomain()
+        for t in evaluator.program.all_terms():
+            self.domain.note_term(t)
+        for atoms in pickle.loads(msg["replicated_blob"]).values():
+            for a in atoms:
+                self.interp.add(a)
+                self.domain.note_atom(a)
+        for a in msg["owned"]:
+            self.interp.add(a)
+            self.domain.note_atom(a)
+        self.report = EvalReport(stats=SolverStats())
+        #: Owned atoms added by this worker's fixpoints (the gather set).
+        self.added: dict[str, set[Atom]] = {}
+        self._seed_texts = msg.get("seeds")
+
+    def start(self) -> dict:
+        seed_deltas = None
+        if self._seed_texts is not None:
+            # Maintenance seeding: the atoms are already part of the
+            # shipped state (exactly as the coordinator's interpretation
+            # already contains them); they only pin the delta.
+            seed_deltas = {
+                p: frozenset(decode_atoms(texts))
+                for p, texts in self._seed_texts.items()
+            }
+        return self._run(seed_deltas)
+
+    def resume(self, inbox: list) -> dict:
+        seeds: dict[str, set[Atom]] = {}
+        for a in decode_atoms(inbox):
+            if self.interp.add(a):
+                self.domain.note_atom(a)
+                self.added.setdefault(a.pred, set()).add(a)
+                seeds.setdefault(a.pred, set()).add(a)
+        if not seeds:
+            return {"ok": True, "exports": {}}
+        return self._run({p: frozenset(s) for p, s in seeds.items()})
+
+    def _run(self, seed_deltas) -> dict:
+        fallbacks_before = self.report.stats.fallbacks
+        added = self.evaluator._fixpoint(
+            self.clauses, self.interp, self.domain, self.report,
+            seed_deltas=seed_deltas, shard=self.ctx,
+        )
+        if self.report.stats.fallbacks > fallbacks_before:
+            # Same soundness gate as incremental maintenance: a fallback
+            # means the active domain was consulted, and worker domains
+            # are not the coordinator's.
+            raise RuntimeError("active-domain fallback inside shard worker")
+        for p, s in added.items():
+            self.added.setdefault(p, set()).update(s)
+        return {
+            "ok": True,
+            "exports": {
+                dest: encode_atoms(atoms)
+                for dest, atoms in self.ctx.drain().items()
+            },
+        }
+
+    def finish(self) -> dict:
+        return {
+            "ok": True,
+            "added": [a for s in self.added.values() for a in s],
+            "rounds": self.report.rounds,
+            "rule_applications": self.report.rule_applications,
+        }
+
+
+def worker_main(conn, index: int, n_shards: int, program_text: str,
+                options_kwargs: dict, builtins_profile: str) -> None:
+    """Entry point of a shard worker process (fork- and spawn-safe)."""
+    program = parse_program(program_text)
+    options = EvalOptions(**options_kwargs)
+    builtins = builtins_for_profile(builtins_profile)
+    evaluator = Evaluator(program, None, builtins=builtins, options=options)
+    run: Optional[_StratumRun] = None
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            return
+        cmd = msg.get("cmd")
+        if cmd == "shutdown":
+            conn.close()
+            return
+        try:
+            if cmd == "eval":
+                run = _StratumRun(evaluator, index, n_shards, msg)
+                reply = run.start()
+            elif cmd == "continue":
+                reply = run.resume(msg["inbox"])
+            elif cmd == "finish":
+                reply = run.finish()
+                run = None
+            elif cmd == "reset":
+                run = None
+                reply = {"ok": True}
+            else:
+                reply = {"ok": False, "error": f"unknown command {cmd!r}"}
+        except Exception as exc:  # surfaced to the coordinator's fallback
+            run = None
+            reply = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):
+            return

@@ -44,23 +44,29 @@ import sys
 from typing import Optional
 
 from ..core.errors import LPSError
-from ..engine.evaluation import Evaluator, Model
+from ..engine.evaluation import EvalOptions, Evaluator, Model
 from ..engine.setops import with_set_builtins
 from ..lang import parse_atom, parse_program
 from ..server import QueryService
 from ..server.session import Session as ServiceSession
 
 
-def _evaluate(source: str) -> Model:
+def _evaluate(source: str, shards: int = 1) -> Model:
     program = parse_program(source)
-    evaluator = Evaluator(program, builtins=with_set_builtins())
-    return evaluator.run()
+    evaluator = Evaluator(
+        program, builtins=with_set_builtins(),
+        options=EvalOptions(shards=shards),
+    )
+    try:
+        return evaluator.run()
+    finally:
+        evaluator.close()
 
 
-def cmd_run(path: str) -> int:
+def cmd_run(path: str, shards: int = 1) -> int:
     with open(path) as f:
         source = f.read()
-    model = _evaluate(source)
+    model = _evaluate(source, shards=shards)
     print(model.pretty())
     return 0
 
@@ -314,6 +320,7 @@ def cmd_serve(
     follow: Optional[str] = None,
     ack_replicas: int = 0,
     fsync: str = "always",
+    shards: int = 1,
 ) -> int:
     """Serve the line protocol over TCP until interrupted.
 
@@ -346,6 +353,7 @@ def cmd_serve(
         service = QueryService(
             source if source.strip() else None, data_dir=data_dir,
             fsync=fsync, ack_replicas=ack_replicas,
+            options=EvalOptions(shards=shards) if shards > 1 else None,
         )
         if data_dir:
             from ..replication import ReplicationHub
@@ -423,6 +431,9 @@ def main(argv: Optional[list[str]] = None) -> int:
     sub = parser.add_subparsers(dest="command", required=True)
     p_run = sub.add_parser("run", help="evaluate a program, print the model")
     p_run.add_argument("path")
+    p_run.add_argument("--shards", type=int, default=1,
+                       help="evaluate recursive strata across this many "
+                            "worker processes (default: 1, single-process)")
     p_query = sub.add_parser("query", help="evaluate, then answer a query")
     p_query.add_argument("path")
     p_query.add_argument("query")
@@ -448,6 +459,9 @@ def main(argv: Optional[list[str]] = None) -> int:
     p_serve.add_argument("--fsync", choices=["always", "never"],
                          default="always",
                          help="WAL fsync policy (default: always)")
+    p_serve.add_argument("--shards", type=int, default=1,
+                         help="evaluate recursive strata across this many "
+                              "worker processes (default: 1)")
     p_ctl = sub.add_parser(
         "ctl", help="operate a running deployment (status / promote)"
     )
@@ -456,14 +470,14 @@ def main(argv: Optional[list[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         if args.command == "run":
-            return cmd_run(args.path)
+            return cmd_run(args.path, shards=args.shards)
         if args.command == "query":
             return cmd_query(args.path, args.query)
         if args.command == "serve":
             return cmd_serve(
                 args.path, args.host, args.port, args.data_dir,
                 follow=args.follow, ack_replicas=args.ack_replicas,
-                fsync=args.fsync,
+                fsync=args.fsync, shards=args.shards,
             )
         if args.command == "ctl":
             return cmd_ctl(args.action, args.addrs)

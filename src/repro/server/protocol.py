@@ -455,6 +455,9 @@ class LineClient:
         self.timeout = timeout
         self.max_attempts = max_attempts
         self._backoff = Backoff(backoff_initial, backoff_max)
+        #: Set by close(); wakes any reconnect backoff sleep immediately,
+        #: so a closing client never sits out a full ``next_delay()``.
+        self._closed = threading.Event()
         self._sock: Optional[socket.socket] = None
         self._file = None
         #: Asynchronous ``diff``/``sub_dropped`` frames read while waiting
@@ -466,7 +469,9 @@ class LineClient:
         last_exc: Optional[Exception] = None
         for attempt in range(self.max_attempts):
             if attempt:
-                time.sleep(self._backoff.next_delay())
+                self._backoff_sleep()
+            if self._closed.is_set():
+                raise ConnectionError("client closed during reconnect")
             try:
                 self._sock = socket.create_connection(
                     (self.host, self.port), timeout=self.timeout
@@ -481,6 +486,17 @@ class LineClient:
             f"could not connect to {self.host}:{self.port} after "
             f"{self.max_attempts} attempt(s): {last_exc}"
         )
+
+    def _backoff_sleep(self) -> None:
+        """Wait out one backoff delay, returning early if close() fires.
+
+        ``Event.wait`` instead of ``time.sleep``: a concurrent ``close()``
+        wakes the sleeper immediately and the next loop iteration raises,
+        so teardown latency is bounded by scheduling, not by the (up to
+        seconds-long) jittered delay.
+        """
+        if self._closed.wait(self._backoff.next_delay()):
+            raise ConnectionError("client closed during reconnect")
 
     def _teardown(self) -> None:
         if self._file is not None:
@@ -511,7 +527,7 @@ class LineClient:
                 last_exc = exc
                 self._teardown()
                 if attempt + 1 < self.max_attempts:
-                    time.sleep(self._backoff.next_delay())
+                    self._backoff_sleep()
         raise ConnectionError(
             f"request failed after {self.max_attempts} attempt(s): "
             f"{last_exc}"
@@ -571,6 +587,7 @@ class LineClient:
         return self.send(f"?- {goal.rstrip('.')}.")
 
     def close(self) -> None:
+        self._closed.set()
         self._teardown()
 
     def __enter__(self) -> "LineClient":

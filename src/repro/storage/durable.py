@@ -150,6 +150,13 @@ class DurableModel(VersionedModel):
                 f"{self.data_dir} already holds durable state; use "
                 "DurableModel.recover() or DurableModel.open()"
             )
+        if not _recovering:
+            # A crash inside checkpoint() — after creating ``ckpt-*.tmp``
+            # but before os.replace — leaves an orphan that contributes no
+            # durable state, so ``open()`` routes back through this fresh
+            # path (recover() sweeps its own).  Sweep here too, or the
+            # orphan shadows this store's checkpoints forever.
+            clean_temp_files(self.data_dir)
         #: Replication fencing epoch: stamped into every WAL record,
         #: bumped by :meth:`bump_epoch` at promotion (see DESIGN.md,
         #: "Replication & failover").  Single-node stores stay at 0.

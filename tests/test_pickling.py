@@ -1,0 +1,121 @@
+"""Pickle round-trips for interned terms and atoms.
+
+Interned terms cache a process-local dense id in their ``_tid`` slot
+(``repro.core.terms.TermDict``).  Those ids are meaningless in any other
+process: a pickled payload that transported one could silently violate
+the ``id equality <=> term equality`` invariant the columnar executor is
+built on.  The ``__reduce__`` implementations therefore rebuild every
+term and atom through its constructor — unpickling re-interns and the
+local ``TERM_DICT`` re-derives ids lazily.  These tests pin that down,
+including a cross-process round trip where the sending process's dense
+ids are guaranteed to disagree with the receiver's.
+"""
+
+import copy
+import os
+import pickle
+import subprocess
+import sys
+
+from repro.core.atoms import Atom
+from repro.core.terms import (
+    EMPTY_SET,
+    App,
+    SetExpr,
+    SetValue,
+    TERM_DICT,
+    const,
+    term_id,
+    var_a,
+    var_s,
+)
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _roundtrip(obj):
+    return pickle.loads(pickle.dumps(obj))
+
+
+class TestInternedRoundTrip:
+    def test_var_reinterns(self):
+        v = var_a("X")
+        assert _roundtrip(v) is v
+        assert _roundtrip(var_s("S")) is var_s("S")
+
+    def test_const_reinterns(self):
+        assert _roundtrip(const("a")) is const("a")
+        assert _roundtrip(const(3)) is const(3)
+        # bool/int interning is keyed by value class, not equality
+        assert _roundtrip(const(True)) is const(True)
+        assert _roundtrip(const(True)) is not const(1)
+
+    def test_set_value_reinterns(self):
+        s = SetValue(frozenset({const("a"), const("b")}))
+        assert _roundtrip(s) is s
+        assert _roundtrip(EMPTY_SET) is EMPTY_SET
+
+    def test_nested_set_value_reinterns(self):
+        inner = SetValue(frozenset({const(1)}))
+        outer = SetValue(frozenset({inner, const(2)}))
+        assert _roundtrip(outer) is outer
+
+    def test_app_and_set_expr_rebuild_fresh_caches(self):
+        t = App("f", (const("a"), var_a("X")))
+        u = _roundtrip(t)
+        assert u == t and hash(u) == hash(t)
+        assert u._tid == -1  # never inherits a serialized id slot
+        e = SetExpr((var_a("X"), const("b")))
+        f = _roundtrip(e)
+        assert f == e and hash(f) == hash(e)
+        assert f._tid == -1
+
+    def test_atom_rebuilds_and_args_reintern(self):
+        a = Atom("p", (const("a"), SetValue(frozenset({const("b")}))))
+        b = _roundtrip(a)
+        assert b == a and hash(b) == hash(a)
+        assert b.args[0] is const("a")
+        assert b.args[1] is a.args[1]
+
+    def test_deepcopy_preserves_interning(self):
+        t = const("deep")
+        assert copy.deepcopy(t) is t
+        a = Atom("p", (t, var_a("X")))
+        b = copy.deepcopy(a)
+        assert b == a and b.args[0] is t and b.args[1] is var_a("X")
+
+
+class TestCrossProcessIds:
+    def test_foreign_tid_never_enters_local_term_dict(self):
+        """A term pickled in a process with *different* dense-id
+        assignments must come back as the local interned object with the
+        local id — the foreign ``_tid`` must not clobber it."""
+        t = const("xproc-shared")
+        local_tid = term_id(t)
+        burn = len(TERM_DICT.terms) + 64
+        child = (
+            "import pickle, sys\n"
+            "from repro.core.terms import const, term_id\n"
+            "from repro.core.atoms import Atom\n"
+            f"for i in range({burn}):\n"
+            "    term_id(const('xproc-burn-%d' % i))\n"
+            "t = const('xproc-shared')\n"
+            "atom = Atom('p', (t, const('xproc-other')))\n"
+            "sys.stdout.buffer.write(pickle.dumps((term_id(t), t, atom)))\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", child],
+            capture_output=True, env=env, check=True,
+        )
+        foreign_tid, u, atom = pickle.loads(out.stdout)
+        assert foreign_tid != local_tid  # the hazard is real in this run
+        assert u is t
+        assert u._tid == local_tid
+        assert TERM_DICT.terms[term_id(u)] is u
+        assert atom == Atom("p", (t, const("xproc-other")))
+        assert atom.args[0] is t
+        assert TERM_DICT.terms[term_id(atom.args[1])] is atom.args[1]

@@ -473,6 +473,40 @@ class TestClientReconnect:
         finally:
             client.close()
 
+    def test_close_wakes_backoff_sleep_promptly(self):
+        """close() during a reconnect backoff must interrupt the sleep:
+        the retry loop waits on an Event, not time.sleep, so a client
+        configured with a 30 s backoff still tears down in milliseconds."""
+        import threading
+
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        port = listener.getsockname()[1]
+        client = LineClient(
+            "127.0.0.1", port, max_attempts=5,
+            backoff_initial=30.0, backoff_max=30.0,
+        )
+        conn, _ = listener.accept()
+        conn.close()
+        listener.close()
+
+        elapsed: list[float] = []
+
+        def worker() -> None:
+            start = time.monotonic()
+            with pytest.raises(ConnectionError):
+                client.send(":version")
+            elapsed.append(time.monotonic() - start)
+
+        t = threading.Thread(target=worker)
+        t.start()
+        time.sleep(0.3)              # let send() enter its backoff sleep
+        client.close()
+        t.join(timeout=5.0)
+        assert not t.is_alive()      # woke immediately, not after 30 s
+        assert elapsed and elapsed[0] < 5.0
+
     def test_backoff_is_bounded_with_jitter(self):
         b = Backoff(initial=0.1, maximum=1.0, factor=2.0)
         delays = [b.next_delay() for _ in range(8)]

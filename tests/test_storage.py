@@ -489,6 +489,45 @@ class TestCheckpoint:
         assert [p.name for p in removed] == [stray.name]
         assert len(list_checkpoints(tmp_path)) == 1
 
+    def test_orphan_tmp_swept_on_recovery(self, tmp_path):
+        """Crash inside checkpoint() after creating ``ckpt-*.tmp`` but
+        before ``os.replace``: the orphan holds no durable state and must
+        be swept on the next open, not accumulate forever."""
+        m = DurableModel(
+            PROGRAM, tmp_path, _db(), fsync="never", checkpoint_every=None,
+        )
+        m.apply_delta(adds=[("e", "c", "d")], dels=[])
+        m.close()
+        orphan = tmp_path / "ckpt-0000000000000009.json.tmp"
+        orphan.write_text('{"rec": ["half-written')
+        model = DurableModel.open(PROGRAM, tmp_path, fsync="never")
+        try:
+            assert list(tmp_path.glob("*.tmp")) == []
+            assert ("c", "d") in model.current.database.relation("e")
+        finally:
+            model.close()
+
+    def test_orphan_tmp_swept_on_fresh_store(self, tmp_path):
+        """Crash during a *fresh* store's very first base checkpoint: the
+        directory holds only a ``.tmp``, so ``has_state`` is false and
+        ``open()`` takes the fresh-create path — which must sweep the
+        orphan too, or it shadows this store's checkpoints forever."""
+        orphan = tmp_path / "ckpt-0000000000000000.json.tmp"
+        orphan.write_text('{"rec": ["half-written')
+        model = DurableModel.open(PROGRAM, tmp_path, fsync="never")
+        try:
+            model.apply_delta(adds=[("e", "c", "d")], dels=[])
+            assert list(tmp_path.glob("*.tmp")) == []
+            committed = model.version
+        finally:
+            model.close()
+        reopened = DurableModel.open(PROGRAM, tmp_path, fsync="never")
+        try:
+            assert reopened.version == committed
+            assert ("c", "d") in reopened.current.database.relation("e")
+        finally:
+            reopened.close()
+
     def test_list_checkpoints_skips_quarantined(self, tmp_path):
         p1 = write_checkpoint(tmp_path, 1, PROGRAM, _db(), fsync=False)
         write_checkpoint(tmp_path, 2, PROGRAM, _db(), fsync=False)
